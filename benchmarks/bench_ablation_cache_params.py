@@ -1,0 +1,62 @@
+"""Ablation — the cache hyperparameters of §II-D-2.
+
+"Users can also tune other performance-specific hyperparameters: number of
+nodes fetched per request, number of branch nodes shared across all
+processors ..."  This bench sweeps both and maps the request-count /
+bytes-moved tradeoff.
+"""
+
+import pytest
+
+from repro.bench import build_gravity_workload, format_table, print_banner
+from repro.cache import WAITFREE, assign_fetch_groups, fetch_statistics
+from repro.runtime import STAMPEDE2, simulate_traversal, workload_from_traversal
+
+N_PROC = 32
+WORKERS = 24
+
+_CACHE = {}
+
+
+def _sweep():
+    if "out" in _CACHE:
+        return _CACHE["out"]
+    gw = build_gravity_workload(distribution="clustered", n=15_000,
+                                n_partitions=128, n_subtrees=128, seed=3)
+    rows = []
+    for npr in (1, 2, 4, 8):
+        wl = workload_from_traversal(gw.tree, gw.decomposition, gw.lists,
+                                     nodes_per_request=npr)
+        r = simulate_traversal(wl, machine=STAMPEDE2, n_processes=N_PROC,
+                               workers_per_process=WORKERS)
+        rows.append(("nodes_per_request", npr, r.requests,
+                     r.bytes_moved / 1e6, r.time))
+    for sbl in (0, 2, 4, 6):
+        groups = assign_fetch_groups(gw.tree, gw.decomposition,
+                                     nodes_per_request=2,
+                                     shared_branch_levels=sbl)
+        st = fetch_statistics(gw.tree, gw.lists, gw.decomposition, groups,
+                              N_PROC, WAITFREE, workers_per_process=WORKERS)
+        rows.append(("shared_branch_levels", sbl, st.total_requests,
+                     st.total_bytes / 1e6, float("nan")))
+    _CACHE["out"] = rows
+    return rows
+
+
+def test_cache_hyperparameters(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print_banner("Ablation: cache hyperparameters (32 procs x 24 workers)")
+    print(format_table(
+        ["parameter", "value", "requests", "MB moved", "sim time (s)"], rows
+    ))
+    npr_rows = [r for r in rows if r[0] == "nodes_per_request"]
+    sbl_rows = [r for r in rows if r[0] == "shared_branch_levels"]
+    # Shipping more levels per fill strictly reduces the request count...
+    reqs = [r[2] for r in npr_rows]
+    assert all(a >= b for a, b in zip(reqs[:-1], reqs[1:]))
+    # ...at the cost of (weakly) more bytes speculatively moved.
+    assert npr_rows[-1][3] >= npr_rows[0][3] * 0.9
+    # Replicating more branch levels monotonically removes fetches of the
+    # top of the tree.
+    sreqs = [r[2] for r in sbl_rows]
+    assert all(a >= b for a, b in zip(sreqs[:-1], sreqs[1:]))

@@ -1,0 +1,105 @@
+"""Fig 11 — Gadget-2 vs ParaTreeT SPH iteration times.
+
+Reproduces §III-B on the Stampede2 configuration: both codes do "the same
+SPH computations on an octree with SFC decomposition", but
+
+* **ParaTreeT** finds each particle's neighbours with a single kNN
+  traversal and runs on the shared-memory runtime (24-worker processes,
+  wait-free cache);
+* **Gadget-2** converges a smoothing length per particle by repeated
+  fixed-ball searches ("more parallelizable but less efficient") and
+  "relies on the Message Passing Interface entirely, and does not leverage
+  shared memory" — modelled as one single-worker process per core with
+  per-process caches.
+
+The reproduced claim is the *shape*: ParaTreeT is faster everywhere and the
+gap widens with scale (the paper reports ~10x across 48 → 3072 cores; our
+scaled dataset reproduces a large, growing multiple).
+"""
+
+import pytest
+
+from repro.bench import build_sph_workloads, format_series, paper_reference, print_banner
+from repro.cache import PER_THREAD, WAITFREE
+from repro.runtime import STAMPEDE2, simulate_traversal
+
+CORES = (48, 192, 768)
+
+
+@pytest.fixture(scope="module")
+def sph_workloads():
+    return build_sph_workloads(n=12_000, k=32)
+
+
+_CACHE = {}
+
+
+def _sweep(sph_workloads):
+    if "sweep" in _CACHE:
+        return _CACHE["sweep"]
+    knn_wl, gadget_wl, rounds = sph_workloads
+    paratreet, gadget = [], []
+    for cores in CORES:
+        r = simulate_traversal(
+            knn_wl.workload, machine=STAMPEDE2,
+            n_processes=cores // 24, workers_per_process=24,
+            cache_model=WAITFREE,
+        )
+        paratreet.append(r.time)
+        # Gadget: one MPI rank per core, no shared memory.
+        g = simulate_traversal(
+            gadget_wl.workload, machine=STAMPEDE2,
+            n_processes=cores, workers_per_process=1,
+            cache_model=PER_THREAD,
+        )
+        gadget.append(g.time)
+    _CACHE["sweep"] = ({"ParaTreeT": paratreet, "Gadget2-style": gadget}, rounds)
+    return _CACHE["sweep"]
+
+
+def test_fig11_shape(benchmark, sph_workloads):
+    series, rounds = benchmark.pedantic(_sweep, args=(sph_workloads,), rounds=1, iterations=1)
+    print_banner("Fig 11: average SPH iteration time on Stampede2 (s)")
+    print(format_series("cores", list(CORES), series))
+    ratios = [g / p for p, g in zip(series["ParaTreeT"], series["Gadget2-style"])]
+    print(f"\nGadget/ParaTreeT ratio per point: {[round(r, 2) for r in ratios]}")
+    print(f"gadget smoothing-length iteration took {rounds} ball rounds")
+    print(f"paper: '~10x speedup from {paper_reference.FIG11_CORE_RANGE[0]} to "
+          f"{paper_reference.FIG11_CORE_RANGE[1]} cores'")
+
+    # ParaTreeT wins at every point...
+    assert all(r > 1.5 for r in ratios)
+    # ...the top-end gap is large (several x; the paper reports ~10x at its
+    # 64x larger problem)...
+    assert ratios[-1] > 3.0
+    # ...and the gap does not shrink with scale.
+    assert ratios[-1] >= ratios[0] * 0.9
+    # Both still benefit from more cores at these sizes.
+    assert series["ParaTreeT"][-1] < series["ParaTreeT"][0]
+
+
+def test_fig11_work_mechanism(benchmark, sph_workloads):
+    """The algorithmic half of the gap: ball iteration does a multiple of
+    the kNN traversal's particle-pair work."""
+    knn_wl, gadget_wl, rounds = sph_workloads
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    knn_pp = knn_wl.stats.pp_interactions
+    gadget_pp = gadget_wl.stats.pp_interactions
+    print(f"\nkNN pp interactions:    {knn_pp:>12,}")
+    print(f"gadget pp interactions: {gadget_pp:>12,} ({gadget_pp / knn_pp:.2f}x, "
+          f"{rounds} rounds)")
+    assert rounds >= 3
+    assert gadget_pp > 1.5 * knn_pp
+
+
+def test_fig11_benchmark_knn_point(benchmark, sph_workloads):
+    knn_wl, _, _ = sph_workloads
+
+    def run():
+        return simulate_traversal(
+            knn_wl.workload, machine=STAMPEDE2, n_processes=8,
+            workers_per_process=24, cache_model=WAITFREE,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.time > 0

@@ -1,0 +1,120 @@
+"""Fig 12 — planetesimal collision profile in a perturbed disk.
+
+Reproduces the §IV-A case study at laptop scale: a Keplerian disk with an
+embedded Jupiter-mass planet at 5.2 AU is evolved with gravity + collision
+detection, and detected collisions are binned by heliocentric distance and
+by orbital period, with the 3:1 / 2:1 / 5:3 resonance locations marked.
+
+Substitutions: 6k planetesimals instead of 10 M, radii inflated (2.5e-3 AU
+vs 50 km) and ~2 yr of evolution instead of 2 000 yr, so collisions happen
+at observable rates.  The reproduced claims:
+
+* collisions happen and their orbital elements are physical;
+* the planet pumps eccentricity — colliding bodies are dynamically hotter
+  than the background disk (the mechanism that concentrates Fig 12's
+  collisions near resonances);
+* the distance and period profiles are consistent (same events, two axes),
+  as in the paper's dotted-vs-solid curves.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.collision import (
+    RESONANCES,
+    PlanetesimalDriver,
+    orbital_elements,
+    resonance_semi_major_axis,
+)
+from repro.bench import format_table, paper_reference, print_banner
+from repro.core import Configuration
+from repro.particles import DiskParams, keplerian_disk
+from repro.trees import TreeType
+
+N_PLANETESIMALS = 6_000
+N_STEPS = 80
+DT = 0.025
+
+
+class DiskMain(PlanetesimalDriver):
+    def configure(self, conf: Configuration) -> None:
+        conf.num_iterations = N_STEPS
+        conf.tree_type = TreeType.LONGEST_DIM
+        conf.decomp_type = "longest"
+        conf.num_partitions = 16
+        conf.num_subtrees = 16
+
+    def create_particles(self, config: Configuration):
+        params = DiskParams(
+            planetesimal_radius=2.5e-3, eccentricity_dispersion=0.015
+        )
+        return keplerian_disk(N_PLANETESIMALS, params=params, seed=42)
+
+
+_CACHE = {}
+
+
+def _run_disk():
+    if "driver" not in _CACHE:
+        driver = DiskMain(dt=DT, merge=False)
+        driver.run()
+        _CACHE["driver"] = driver
+    return _CACHE["driver"]
+
+
+def test_fig12_collision_profile(benchmark):
+    driver = benchmark.pedantic(_run_disk, rounds=1, iterations=1)
+    log = driver.log.as_arrays()
+    n_collisions = len(log["time"])
+    print_banner(
+        f"Fig 12: {n_collisions} collisions in {N_STEPS * DT:.1f} yr "
+        f"({N_PLANETESIMALS} planetesimals; paper: "
+        f"{paper_reference.FIG12_TOTAL_COLLISIONS} collisions, 10M bodies, 2000 yr)"
+    )
+
+    # Distance profile (solid curve) and period profile (dotted curve).
+    d_edges = np.linspace(2.0, 4.2, 12)
+    d_hist, _ = np.histogram(log["distance"], bins=d_edges)
+    p_edges = np.linspace(2.0**1.5, 4.2**1.5, 12)  # same radial range in period
+    p_hist, _ = np.histogram(log["period"], bins=p_edges)
+    rows = [
+        (f"{d_edges[i]:.2f}-{d_edges[i + 1]:.2f}", int(d_hist[i]),
+         f"{p_edges[i]:.2f}-{p_edges[i + 1]:.2f}", int(p_hist[i]))
+        for i in range(len(d_hist))
+    ]
+    print(format_table(
+        ["distance bin (AU)", "collisions", "period bin (yr)", "collisions"], rows
+    ))
+    print("\nresonances (paper's dashed lines):")
+    from repro.apps.collision import resonance_excess
+
+    excess = resonance_excess(log["a"], paper_reference.FIG12_PLANET_A)
+    for p, q in RESONANCES:
+        a = resonance_semi_major_axis(paper_reference.FIG12_PLANET_A, p, q)
+        print(f"  {p}:{q} -> a = {a:.2f} AU, period = {a**1.5:.2f} yr, "
+              f"collision excess over neighbourhood: {excess[(p, q)]:.2f}x")
+
+    assert n_collisions > 50, "not enough collisions to form a profile"
+    # Physicality of the recorded elements.
+    finite = np.isfinite(log["a"])
+    assert finite.mean() > 0.95
+    assert np.all(log["distance"] > 1.5) and np.all(log["distance"] < 5.0)
+    # Distance and period profiles describe the same events: total counts
+    # match and the period of each event is Kepler-consistent with its a.
+    kepler = log["a"][finite] ** 1.5
+    assert np.allclose(log["period"][finite], kepler, rtol=1e-6)
+
+    # The planet heats the disk: colliding bodies are dynamically excited
+    # well above the initial Rayleigh dispersion (sigma = 0.015, median
+    # ~0.018) — the paper's mechanism for resonance-driven collisions
+    # ("high eccentricity particles near the 2:1 resonance").
+    p = driver.particles
+    disk = p.select(p.ptype == 0)
+    el = orbital_elements(disk.position, disk.velocity)
+    e_background = np.median(el["e"][np.isfinite(el["e"])])
+    e_colliders = np.median(log["e"][np.isfinite(log["e"])])
+    e_initial_median = 0.015 * np.sqrt(2 * np.log(2))
+    print(f"\nmedian eccentricity: colliders {e_colliders:.4f}, "
+          f"whole disk now {e_background:.4f}, initial {e_initial_median:.4f}")
+    assert e_colliders > 1.2 * e_initial_median
+    assert e_background > 1.2 * e_initial_median

@@ -1,0 +1,35 @@
+"""Table I — characteristics of the simulated supercomputers.
+
+Regenerates the machine table from the DES machine specs and benchmarks the
+raw event throughput of the simulator core that stands in for them.
+"""
+
+from repro.bench import format_table, paper_reference, print_banner
+from repro.runtime import MACHINES, Simulator, WorkerPool
+
+
+def test_table1_machines(benchmark):
+    rows = [
+        (m.name, m.cores_per_node, m.cpu_type, m.clock_ghz, m.comm_layer)
+        for m in MACHINES.values()
+    ]
+    print_banner("Table I: relevant characteristics of supercomputers used")
+    print(format_table(["Name", "Cores/N", "CPU Type", "Clock GHz", "Comm. Layer"], rows))
+    print(format_table(
+        ["Name", "Cores/N", "CPU Type", "Clock GHz", "Comm. Layer"],
+        paper_reference.TABLE1,
+        title="\n(paper Table I)",
+    ))
+    assert [tuple(r) for r in rows] == paper_reference.TABLE1
+
+    # Benchmark: DES event throughput (the substrate all scaling figures
+    # run on).
+    def pump_events():
+        sim = Simulator()
+        pool = WorkerPool(sim, 16)
+        for i in range(2000):
+            pool.submit(0.001)
+        return sim.run()
+
+    result = benchmark(pump_events)
+    assert result > 0

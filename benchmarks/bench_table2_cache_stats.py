@@ -1,0 +1,109 @@
+"""Table II — cache-utilisation statistics, ParaTreeT vs ChaNGa styles.
+
+Reproduces §III-A's PMU profile through the trace-driven cache-hierarchy
+simulator: the *same* gravity traversal is recorded in both loop orders
+(transposed vs per-bucket/node-at-a-time) and replayed through the SKX
+hierarchy of the paper's Stampede2 node.
+
+Substitutions (documented in DESIGN.md): 12k particles instead of 100k with
+L2/L3 scaled by 8x so the working-set regime matches ("the set of buckets
+in a Partition fits in the L2 cache and the tree traversed for that set
+fits in the L3 cache"); access counts are line-granular rather than
+instruction-granular, so absolute counts and miss rates differ from PMU
+numbers — the reproduced quantities are the ratios and orderings:
+
+* ParaTreeT does fewer cache accesses ("fewer cache accesses by not
+  walking the tree once per bucket"),
+* ParaTreeT's runtime is ~0.6x ChaNGa's (paper: 9.2/16 ≈ 0.58 at 1 CPU),
+* ParaTreeT's store miss rate is higher (paper: 0.036% vs 0.020%).
+"""
+
+import pytest
+
+from repro.bench import format_table, paper_reference, print_banner
+from repro.memsim import profile_traversal_style
+from repro.particles import uniform_cube
+from repro.trees import build_tree
+
+CPUS = (1, 2, 4)
+N_PARTICLES = 12_000
+CACHE_SCALE = 8
+
+
+_CACHE = {}
+
+
+def _profiles():
+    if "out" in _CACHE:
+        return _CACHE["out"]
+    tree = build_tree(uniform_cube(N_PARTICLES, seed=2), tree_type="oct", bucket_size=16)
+    out = {}
+    for style in ("transposed", "per-bucket"):
+        for n_cpus in CPUS:
+            out[(style, n_cpus)] = profile_traversal_style(
+                tree, style=style, n_cpus=n_cpus,
+                cache_scale=CACHE_SCALE, buckets_per_partition=64,
+            )
+    _CACHE["out"] = out
+    return out
+
+
+def test_table2(benchmark):
+    profiles = benchmark.pedantic(_profiles, rounds=1, iterations=1)
+    headers = [
+        "CPU", "style", "runtime (s)", "L1D loads", "L1D stores",
+        "L1 miss %", "L2 miss %", "L3 miss %", "st(L1&L2) %", "st L3 %",
+    ]
+    rows = []
+    for n_cpus in CPUS:
+        for style, label in (("transposed", "ParaTreeT"), ("per-bucket", "ChaNGa")):
+            p = profiles[(style, n_cpus)]
+            rows.append([
+                n_cpus, label, p.runtime_estimate_s, p.l1_loads, p.l1_stores,
+                100 * p.l1_load_miss_rate, 100 * p.l2_load_miss_rate,
+                100 * p.l3_load_miss_rate, 100 * p.l1l2_store_miss_rate,
+                100 * p.l3_store_miss_rate,
+            ])
+    print_banner("Table II: simulated cache statistics (line-granular)")
+    print(format_table(headers, rows))
+    print("\npaper Table II at 1 CPU (instruction-granular PMU counts):")
+    pt, ch = paper_reference.TABLE2[1]
+    print(f"  ParaTreeT: runtime {pt[0]}s, loads {pt[1]}e9, stores {pt[2]}e9, "
+          f"L1 {pt[3]}%, L2 {pt[4]}%, L3 {pt[5]}%")
+    print(f"  ChaNGa:    runtime {ch[0]}s, loads {ch[1]}e9, stores {ch[2]}e9, "
+          f"L1 {ch[3]}%, L2 {ch[4]}%, L3 {ch[5]}%")
+
+    for n_cpus in CPUS:
+        t = profiles[("transposed", n_cpus)]
+        b = profiles[("per-bucket", n_cpus)]
+        # Fewer total accesses for the transposed style.
+        assert t.n_accesses < b.n_accesses, n_cpus
+        # Lower modelled runtime — the Table II headline.
+        assert t.runtime_estimate_s < b.runtime_estimate_s, n_cpus
+        # Higher store miss rate for the transposed style (paper: 0.036 vs
+        # 0.020 at 1 CPU) — it streams acc arrays per node instead of
+        # keeping one bucket's accumulators hot.
+        assert t.l1l2_store_miss_rate >= b.l1l2_store_miss_rate, n_cpus
+
+    # Runtime ratio at 1 CPU lands near the paper's 0.58.
+    ratio = (
+        profiles[("transposed", 1)].runtime_estimate_s
+        / profiles[("per-bucket", 1)].runtime_estimate_s
+    )
+    print(f"\nruntime ratio ParaTreeT/ChaNGa at 1 CPU: {ratio:.3f} "
+          f"(paper: {paper_reference.TABLE2_RUNTIME_RATIO:.3f})")
+    assert 0.35 < ratio < 0.85
+
+
+def test_table2_benchmark_replay(benchmark):
+    """Time the cache-simulator replay itself on a small trace."""
+    tree = build_tree(uniform_cube(2_000, seed=3), tree_type="oct", bucket_size=16)
+
+    def run():
+        return profile_traversal_style(
+            tree, style="transposed", n_cpus=1, cache_scale=16,
+            buckets_per_partition=48,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.n_accesses > 0

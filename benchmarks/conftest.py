@@ -1,0 +1,31 @@
+"""Benchmark-suite configuration.
+
+The heavy artefacts (instrumented traversals → DES workloads) are memoised
+inside :mod:`repro.bench.workloads`, so fixtures here are thin wrappers.
+Every bench prints the regenerated table/figure; run with ``-s`` to see
+them, e.g.::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+from repro.bench import build_gravity_workload
+
+
+@pytest.fixture(scope="session")
+def clustered_workload():
+    """The Fig 3 / Fig 9 workload: clustered particles, SFC + octree.
+
+    1024 partitions/subtrees give the fine decomposition granularity the
+    Fig 3 cache-contention study needs (the paper runs up to 1024
+    24-core processes)."""
+    return build_gravity_workload(
+        distribution="clustered", n=25_000, n_partitions=1024, n_subtrees=1024
+    )
+
+
+@pytest.fixture(scope="session")
+def uniform_workload():
+    """The Fig 10 workload: uniform volume, SFC + octree."""
+    return build_gravity_workload(distribution="uniform", n=25_000, seed=11)

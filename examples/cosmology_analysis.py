@@ -1,0 +1,60 @@
+"""Cosmological analysis pipeline: FoF halos + two-point correlation.
+
+§III motivates the framework with "the computation and analysis of
+cosmological datasets, including gravity, k-nearest neighbors, and n-point
+correlation functions".  This example runs the analysis half on a clustered
+volume: find Friends-of-Friends halos, summarise the mass function, and
+measure the two-point correlation function — all on the same tree
+abstractions the solvers use.
+
+Run:  python examples/cosmology_analysis.py
+"""
+
+import numpy as np
+
+from repro.apps.correlation import two_point_correlation
+from repro.apps.fof import friends_of_friends
+from repro.particles import clustered_clumps
+from repro.trees import build_tree
+
+
+def main() -> None:
+    particles = clustered_clumps(20_000, n_clumps=12, seed=3)
+    tree = build_tree(particles, tree_type="oct", bucket_size=16)
+
+    # -- Friends-of-Friends halo finding -----------------------------------
+    # linking length = b x mean interparticle spacing, classic b = 0.2
+    spacing = (1.0 / len(particles)) ** (1 / 3)
+    ll = 0.2 * spacing
+    fof = friends_of_friends(tree, linking_length=ll)
+    halos = fof.groups_larger_than(20)
+    print(f"FoF with linking length {ll:.4f}: {fof.n_groups} groups, "
+          f"{len(halos)} halos with >= 20 members")
+
+    print("\ntop halos by mass:")
+    order = halos[np.argsort(fof.group_mass[halos])[::-1]]
+    print(f"{'members':>8} {'mass':>10} {'centre of mass':>30}")
+    for g in order[:8]:
+        com = np.round(fof.group_com[g], 3)
+        print(f"{fof.group_sizes[g]:>8} {fof.group_mass[g]:>10.5f} {str(com):>30}")
+
+    # mass function: halo counts per mass decade
+    masses = fof.group_mass[halos]
+    if len(masses) > 1:
+        edges = np.geomspace(masses.min(), masses.max() * 1.001, 5)
+        hist, _ = np.histogram(masses, bins=edges)
+        print("\nhalo mass function (counts per mass bin):", hist.tolist())
+
+    # -- two-point correlation -----------------------------------------------
+    edges = np.geomspace(0.005, 0.7, 9)
+    res = two_point_correlation(particles, edges, seed=1)
+    print("\ntwo-point correlation (dual-tree pair counts):")
+    print(f"{'r_lo':>8} {'r_hi':>8} {'xi':>12} {'DD pairs':>12}")
+    for i in range(len(res.xi)):
+        print(f"{edges[i]:8.4f} {edges[i + 1]:8.4f} {res.xi[i]:12.3f} {res.dd[i]:12,}")
+    print(f"\nxi falls from {res.xi[0]:.1f} at clump scales to ~0 at the box "
+          f"scale — the clustering signal FoF picked up as halos.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Distributed-runtime walkthrough: one real traversal, many simulated runs.
+
+Shows the full performance-modelling pipeline the scaling reproductions use:
+record a real traversal's interaction lists, turn them into a DES workload,
+and replay the iteration on simulated Summit / Stampede2 / Bridges2 nodes
+under each software-cache design, printing a strong-scaling table and a
+Fig 9-style utilisation profile.
+
+Run:  python examples/distributed_scaling.py
+"""
+
+import numpy as np
+
+from repro.apps.gravity import GravityVisitor, compute_centroid_arrays
+from repro.cache import SEQUENTIAL, WAITFREE, XWRITE
+from repro.core import InteractionLists, get_traverser
+from repro.decomp import decompose, get_decomposer
+from repro.particles import clustered_clumps
+from repro.runtime import (
+    MACHINES,
+    STAMPEDE2,
+    simulate_traversal,
+    utilization_profile,
+    workload_from_traversal,
+)
+from repro.trees import build_tree
+
+
+def main() -> None:
+    # -- one real traversal, instrumented ---------------------------------
+    particles = clustered_clumps(25_000, seed=3)
+    tree = build_tree(particles, tree_type="oct", bucket_size=16)
+    parts = get_decomposer("sfc").assign(tree.particles, 256)
+    dec = decompose(tree, parts, n_subtrees=256)
+    visitor = GravityVisitor(tree, compute_centroid_arrays(tree, theta=0.7))
+    lists = InteractionLists()
+    get_traverser("transposed").traverse(tree, visitor, None, lists)
+    workload = workload_from_traversal(tree, dec, lists)
+    print(f"workload: {len(workload.buckets)} buckets, "
+          f"{workload.groups.n_groups} fetch groups, "
+          f"{workload.total_work:.3f} s of modelled sequential work")
+
+    # -- strong scaling under the three Fig 3 cache designs ----------------
+    print(f"\nstrong scaling on {STAMPEDE2.name} (24 workers/process), "
+          f"simulated iteration time in ms:")
+    print(f"{'cores':>7} | {'WaitFree':>9} | {'XWrite':>9} | {'Sequential':>10}")
+    for n_proc in (1, 4, 16, 64):
+        row = []
+        for model in (WAITFREE, XWRITE, SEQUENTIAL):
+            r = simulate_traversal(
+                workload, machine=STAMPEDE2, n_processes=n_proc,
+                workers_per_process=24, cache_model=model,
+            )
+            row.append(r.time * 1e3)
+        print(f"{n_proc * 24:>7} | {row[0]:>9.3f} | {row[1]:>9.3f} | {row[2]:>10.3f}")
+
+    # -- machine comparison -------------------------------------------------
+    print("\nsame workload, 8 processes, one full node per process:")
+    for name, machine in MACHINES.items():
+        r = simulate_traversal(workload, machine=machine, n_processes=8)
+        print(f"  {name:10s} ({machine.workers_per_node:3d} workers/node, "
+              f"{machine.clock_ghz} GHz): {r.time * 1e3:8.3f} ms")
+
+    # -- Fig 9-style utilisation profile -------------------------------------
+    r = simulate_traversal(
+        workload, machine=STAMPEDE2, n_processes=16, workers_per_process=24,
+        cache_model=WAITFREE, collect_trace=True,
+    )
+    edges, series = utilization_profile(r.trace, n_workers_total=16 * 24, n_bins=12)
+    print("\nutilisation timeline (fraction of workers busy per activity):")
+    labels = sorted(series)
+    print("  bin  " + "  ".join(f"{l[:14]:>14}" for l in labels))
+    for b in range(12):
+        print(f"  {b:3d}  " + "  ".join(f"{series[l][b]:>14.3f}" for l in labels))
+
+
+if __name__ == "__main__":
+    main()

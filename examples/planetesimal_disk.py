@@ -1,0 +1,74 @@
+"""Planet-forming disk case study (paper §IV), runnable at laptop scale.
+
+A planetesimal disk with an embedded Jupiter-mass planet is evolved with
+gravity + collision detection on the longest-dimension tree (the paper's
+custom tree type for flat disks).  Planetesimal radii are inflated relative
+to the paper's 50 km so a short run produces a usable collision sample; the
+resulting profile is binned against the 3:1 / 2:1 / 5:3 resonance locations
+as in Fig 12.
+
+Run:  python examples/planetesimal_disk.py
+"""
+
+import numpy as np
+
+from repro.apps.collision import (
+    RESONANCES,
+    PlanetesimalDriver,
+    resonance_semi_major_axis,
+)
+from repro.core import Configuration
+from repro.particles import DiskParams, keplerian_disk
+from repro.trees import TreeType
+
+
+class DiskMain(PlanetesimalDriver):
+    def configure(self, conf: Configuration) -> None:
+        conf.num_iterations = 60
+        conf.tree_type = TreeType.LONGEST_DIM   # §IV-B's disk-friendly tree
+        conf.decomp_type = "longest"
+        conf.bucket_size = 16
+        conf.num_partitions = 16
+        conf.num_subtrees = 16
+
+    def create_particles(self, config: Configuration):
+        params = DiskParams(
+            planetesimal_radius=2.5e-3,       # inflated for statistics
+            eccentricity_dispersion=0.015,
+        )
+        return keplerian_disk(6000, params=params, seed=42)
+
+
+def main() -> None:
+    driver = DiskMain(dt=0.02, merge=False)
+    print("evolving 6k-planetesimal disk + Jupiter for 60 steps (1.2 yr)...")
+    driver.run()
+
+    log = driver.log.as_arrays()
+    print(f"\ncollisions recorded: {len(driver.log)}")
+    if len(driver.log) == 0:
+        print("(increase radii or steps for more statistics)")
+        return
+
+    # Fig 12-style profile: collision counts vs heliocentric distance.
+    edges = np.linspace(2.0, 4.2, 23)
+    hist, _ = np.histogram(log["distance"], bins=edges)
+    peak = hist.max()
+    print("\ncollision profile (distance from star, AU):")
+    for lo, hi, count in zip(edges[:-1], edges[1:], hist):
+        bar = "#" * int(30 * count / max(peak, 1))
+        print(f"  {lo:4.2f}-{hi:4.2f}  {count:4d} {bar}")
+
+    print("\nresonance locations (vertical dashed lines in Fig 12):")
+    for p, q in RESONANCES:
+        a_res = resonance_semi_major_axis(5.2, p, q)
+        near = np.abs(log["a"] - a_res) < 0.1
+        print(f"  {p}:{q} at a = {a_res:.2f} AU — {near.sum()} collisions within 0.1 AU")
+
+    ecc = log["e"][np.isfinite(log["e"])]
+    print(f"\neccentricity of colliding bodies: median {np.median(ecc):.4f} "
+          f"(disk initial dispersion was 0.015)")
+
+
+if __name__ == "__main__":
+    main()

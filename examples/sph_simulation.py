@@ -1,0 +1,80 @@
+"""Smoothed-particle hydrodynamics (paper §III-B), runnable.
+
+Simulates an adiabatic gas: a dense clump embedded in a uniform background
+expands under its own pressure.  Shows both neighbour engines: ParaTreeT's
+single kNN traversal and the Gadget-2-style smoothing-length iteration, and
+prints the traversal-work gap that drives Fig 11.
+
+Run:  python examples/sph_simulation.py
+"""
+
+import numpy as np
+
+from repro.apps.sph import SPHDriver, compute_density_knn, gadget_style_density
+from repro.core import Configuration
+from repro.particles import ParticleSet
+from repro.trees import build_tree
+
+
+def make_gas(n_clump: int = 2000, n_background: int = 6000, seed: int = 5) -> ParticleSet:
+    rng = np.random.default_rng(seed)
+    clump = rng.normal(0.0, 0.04, size=(n_clump, 3))
+    background = rng.uniform(-0.5, 0.5, size=(n_background, 3))
+    pos = np.vstack([clump, background])
+    mass = np.full(len(pos), 1.0 / len(pos))
+    return ParticleSet(pos, mass=mass)
+
+
+class GasMain(SPHDriver):
+    def configure(self, conf: Configuration) -> None:
+        conf.num_iterations = 5
+        conf.tree_type = "oct"
+        conf.decomp_type = "sfc"
+        conf.num_partitions = 16
+        conf.num_subtrees = 16
+
+    def create_particles(self, config: Configuration) -> ParticleSet:
+        return make_gas()
+
+    def post_traversal(self, iteration: int) -> None:
+        super().post_traversal(iteration)
+        rho = self.state.density
+        print(
+            f"  iter {iteration}: density max/median = "
+            f"{rho.max() / np.median(rho):7.2f}, "
+            f"kNN pp interactions = {self.state.stats.pp_interactions:,}"
+        )
+
+
+def main() -> None:
+    print("SPH: dense clump in a uniform background (8k particles, k=32)")
+    driver = GasMain(k_neighbors=32, internal_energy=1.0, dt=2e-4)
+    driver.run()
+
+    # The clump must be expanding: mean radial velocity of clump particles
+    # (the first 2000 by original index) is positive.
+    p = driver.particles
+    orig = p.orig_index
+    clump_mask = orig < 2000
+    pos = p.position[clump_mask]
+    vel = p.velocity[clump_mask]
+    v_rad = np.einsum("ij,ij->i", vel, pos) / np.maximum(
+        np.linalg.norm(pos, axis=1), 1e-12
+    )
+    print(f"\nclump mean radial velocity: {v_rad.mean():+.4f} (positive = expanding)")
+
+    # The Fig 11 mechanism: compare neighbour-search work once, directly.
+    print("\nneighbour-engine comparison on the final state:")
+    tree = build_tree(p, tree_type="oct", bucket_size=16)
+    knn = compute_density_knn(tree, k=32)
+    gadget = gadget_style_density(tree, k=32, tol=2)
+    ratio = gadget.stats.pp_interactions / max(knn.stats.pp_interactions, 1)
+    print(f"  ParaTreeT kNN: 1 traversal, {knn.stats.pp_interactions:,} pp")
+    print(f"  Gadget-style:  {gadget.n_rounds} ball rounds, "
+          f"{gadget.stats.pp_interactions:,} pp  ({ratio:.2f}x the work)")
+    agree = np.median(np.abs(gadget.density / knn.density - 1.0))
+    print(f"  median density disagreement: {agree * 100:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""repro — a Python reproduction of ParaTreeT (IPDPS 2022).
+
+A general framework for spatial tree traversal: trees, the Data / Visitor /
+Traverser abstractions, Partitions-Subtrees decomposition, software-cache
+models, plus the gravity / SPH / kNN / collision applications and the
+simulation substrate used to regenerate the paper's evaluation.
+
+Quick tour::
+
+    from repro.particles import uniform_cube
+    from repro.trees import build_tree
+    from repro.apps.gravity import compute_gravity
+
+    result = compute_gravity(uniform_cube(10_000, seed=1), theta=0.6)
+
+See README.md for the architecture and DESIGN.md for how the paper's
+hardware-scale experiments are reproduced.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "trees",
+    "particles",
+    "geometry",
+    "decomp",
+    "cache",
+    "runtime",
+    "memsim",
+    "apps",
+    "bench",
+]

@@ -1,0 +1,190 @@
+"""Command-line interface: quick runs of the built-in applications.
+
+Examples::
+
+    python -m repro gravity --n 50000 --theta 0.6
+    python -m repro sph --n 8000 --k 32
+    python -m repro knn --n 20000 --k 8
+    python -m repro disk --n 5000 --steps 40
+    python -m repro correlation --n 2000
+    python -m repro scale --n 20000 --cores 24 96 384
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+
+def _add_common(p: argparse.ArgumentParser, n_default: int) -> None:
+    p.add_argument("--n", type=int, default=n_default, help="particle count")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--bucket", type=int, default=16, help="leaf bucket size")
+    p.add_argument("--tree", default="oct", choices=["oct", "kd", "longest"])
+
+
+def cmd_gravity(args) -> int:
+    from .apps.gravity import compute_gravity, direct_accelerations, acceleration_error
+    from .particles import clustered_clumps
+
+    p = clustered_clumps(args.n, seed=args.seed)
+    t0 = time.time()
+    res = compute_gravity(
+        p, theta=args.theta, softening=args.softening,
+        tree_type=args.tree, bucket_size=args.bucket,
+        traverser=args.traverser, with_quadrupole=args.quadrupole,
+    )
+    print(f"traversal: {time.time() - t0:.2f}s  {res.stats.as_dict()}")
+    if args.check and args.n <= 20_000:
+        exact = direct_accelerations(p, softening=args.softening)
+        print(f"error vs direct sum: {acceleration_error(res.accel, exact)}")
+    return 0
+
+
+def cmd_sph(args) -> int:
+    from .apps.sph import compute_density_knn, gadget_style_density
+    from .particles import uniform_cube
+    from .trees import build_tree
+
+    p = uniform_cube(args.n, seed=args.seed)
+    tree = build_tree(p, tree_type=args.tree, bucket_size=args.bucket)
+    st = compute_density_knn(tree, k=args.k)
+    print(f"kNN density: median rho {np.median(st.density):.4f}, "
+          f"pp={st.stats.pp_interactions:,}")
+    if args.baseline:
+        gd = gadget_style_density(tree, k=args.k)
+        print(f"gadget-style: {gd.n_rounds} rounds, pp={gd.stats.pp_interactions:,} "
+              f"({gd.stats.pp_interactions / st.stats.pp_interactions:.2f}x)")
+    return 0
+
+
+def cmd_knn(args) -> int:
+    from .apps.knn import knn_search
+    from .particles import clustered_clumps
+    from .trees import build_tree
+
+    p = clustered_clumps(args.n, seed=args.seed)
+    tree = build_tree(p, tree_type=args.tree, bucket_size=args.bucket)
+    t0 = time.time()
+    res = knn_search(tree, k=args.k)
+    print(f"kNN k={args.k}: {time.time() - t0:.2f}s, "
+          f"median d_k={np.median(np.sqrt(res.dist_sq[:, -1])):.4f}, "
+          f"pp={res.stats.pp_interactions:,} (brute force would be {args.n**2:,})")
+    return 0
+
+
+def cmd_disk(args) -> int:
+    from .apps.collision import PlanetesimalDriver
+    from .core import Configuration
+    from .particles import DiskParams, keplerian_disk
+
+    params = DiskParams(planetesimal_radius=args.radius)
+
+    class Main(PlanetesimalDriver):
+        def create_particles(self, config):
+            return keplerian_disk(args.n, params=params, seed=args.seed)
+
+    cfg = Configuration(num_iterations=args.steps, tree_type="longest",
+                        decomp_type="longest", num_partitions=16, num_subtrees=16)
+    d = Main(cfg, dt=args.dt)
+    t0 = time.time()
+    d.run()
+    print(f"{args.steps} steps in {time.time() - t0:.1f}s; "
+          f"collisions recorded: {len(d.log)}")
+    return 0
+
+
+def cmd_correlation(args) -> int:
+    from .apps.correlation import two_point_correlation
+    from .particles import clustered_clumps
+
+    edges = np.geomspace(args.rmin, args.rmax, args.bins + 1)
+    res = two_point_correlation(clustered_clumps(args.n, seed=args.seed), edges)
+    print(f"{'r_lo':>8} {'r_hi':>8} {'xi':>10} {'DD':>10}")
+    for i in range(len(res.xi)):
+        print(f"{edges[i]:8.4f} {edges[i + 1]:8.4f} {res.xi[i]:10.3f} {res.dd[i]:10,}")
+    return 0
+
+
+def cmd_scale(args) -> int:
+    from .bench import build_gravity_workload
+    from .cache import CACHE_MODELS
+    from .runtime import MACHINES, simulate_traversal
+
+    machine = MACHINES[args.machine]
+    gw = build_gravity_workload(distribution="clustered", n=args.n,
+                                n_partitions=args.partitions,
+                                n_subtrees=args.partitions, seed=args.seed)
+    model = CACHE_MODELS[args.cache]
+    workers = args.workers or machine.workers_per_node
+    print(f"{args.machine}, {workers} workers/process, cache={args.cache}")
+    for cores in args.cores:
+        r = simulate_traversal(gw.workload, machine=machine,
+                               n_processes=max(cores // workers, 1),
+                               workers_per_process=workers, cache_model=model)
+        print(f"  {cores:>7} cores: {r.time * 1e3:9.3f} ms, "
+              f"{r.requests:,} requests, {r.bytes_moved / 1e6:.1f} MB")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("gravity", help="Barnes-Hut gravity solve")
+    _add_common(g, 20_000)
+    g.add_argument("--theta", type=float, default=0.7)
+    g.add_argument("--softening", type=float, default=1e-3)
+    g.add_argument("--traverser", default="transposed",
+                   choices=["transposed", "per-bucket", "up-and-down"])
+    g.add_argument("--quadrupole", action="store_true")
+    g.add_argument("--check", action="store_true", help="compare to direct sum")
+    g.set_defaults(fn=cmd_gravity)
+
+    s = sub.add_parser("sph", help="SPH density estimation")
+    _add_common(s, 6_000)
+    s.add_argument("--k", type=int, default=32)
+    s.add_argument("--baseline", action="store_true", help="run Gadget-style too")
+    s.set_defaults(fn=cmd_sph)
+
+    k = sub.add_parser("knn", help="k-nearest-neighbour search")
+    _add_common(k, 20_000)
+    k.add_argument("--k", type=int, default=8)
+    k.set_defaults(fn=cmd_knn)
+
+    d = sub.add_parser("disk", help="planetesimal disk with collisions")
+    d.add_argument("--n", type=int, default=4_000)
+    d.add_argument("--seed", type=int, default=1)
+    d.add_argument("--steps", type=int, default=30)
+    d.add_argument("--dt", type=float, default=0.02)
+    d.add_argument("--radius", type=float, default=2.5e-3)
+    d.set_defaults(fn=cmd_disk)
+
+    c = sub.add_parser("correlation", help="two-point correlation function")
+    c.add_argument("--n", type=int, default=2_000)
+    c.add_argument("--seed", type=int, default=1)
+    c.add_argument("--rmin", type=float, default=0.01)
+    c.add_argument("--rmax", type=float, default=1.0)
+    c.add_argument("--bins", type=int, default=8)
+    c.set_defaults(fn=cmd_correlation)
+
+    sc = sub.add_parser("scale", help="simulated strong-scaling sweep")
+    sc.add_argument("--n", type=int, default=20_000)
+    sc.add_argument("--seed", type=int, default=7)
+    sc.add_argument("--partitions", type=int, default=256)
+    sc.add_argument("--machine", default="Stampede2", choices=["Summit", "Stampede2", "Bridges2"])
+    sc.add_argument("--cache", default="WaitFree",
+                    choices=["WaitFree", "XWrite", "Sequential", "PerThread", "SingleWriter"])
+    sc.add_argument("--workers", type=int, default=0, help="workers per process (0 = full node)")
+    sc.add_argument("--cores", type=int, nargs="+", default=[24, 96, 384, 1536])
+    sc.set_defaults(fn=cmd_scale)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

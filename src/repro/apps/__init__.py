@@ -1,0 +1,9 @@
+"""Applications built on the ParaTreeT abstractions.
+
+Each subpackage is one of the paper's evaluated workloads:
+
+* :mod:`repro.apps.gravity`   — Barnes-Hut gravity (§III-A, Figs 6-10, Table II)
+* :mod:`repro.apps.sph`       — smoothed-particle hydrodynamics (§III-B, Fig 11)
+* :mod:`repro.apps.knn`       — k-nearest-neighbour searches (substrate for SPH)
+* :mod:`repro.apps.collision` — planetesimal collision detection (§IV, Figs 12-13)
+"""

@@ -1,0 +1,19 @@
+"""Two-point correlation functions via dual-tree pair counting.
+
+The paper motivates n-point correlation functions as one of the cosmology
+workloads a general tree framework must serve (§III; the SPIRIT comparison
+in §V proved itself on two-point correlation).  This app showcases the
+dual-tree traversal: node *pairs* are pruned wholesale when their
+separation range falls inside a single histogram bin, and ``cell()``
+chooses between opening both sides or only the source.
+"""
+
+from .paircount import PairCountVisitor, pair_counts, brute_force_pair_counts
+from .correlation import two_point_correlation
+
+__all__ = [
+    "PairCountVisitor",
+    "pair_counts",
+    "brute_force_pair_counts",
+    "two_point_correlation",
+]

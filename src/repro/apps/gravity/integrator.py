@@ -1,0 +1,74 @@
+"""Time integration: leapfrog (kick-drift-kick) for N-body evolution.
+
+The traversal frameworks in the paper recompute forces each iteration; the
+integrator is the ``postTraversal`` physics that consumes them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...particles import ParticleSet
+
+__all__ = ["kick", "drift", "kick_drift_kick_half", "LeapfrogIntegrator"]
+
+
+def kick(particles: ParticleSet, accel: np.ndarray, dt: float) -> None:
+    """v += a dt (in place)."""
+    particles.velocity += accel * dt
+
+
+def drift(particles: ParticleSet, dt: float) -> None:
+    """x += v dt (in place)."""
+    particles.position += particles.velocity * dt
+
+
+def kick_drift_kick_half(particles: ParticleSet, accel: np.ndarray, dt: float) -> None:
+    """One KDK step given accelerations at the step start.
+
+    Standard leapfrog splitting: half-kick, full drift; the closing
+    half-kick belongs to the *next* force evaluation, so callers doing
+    multi-step evolution should use :class:`LeapfrogIntegrator`, which keeps
+    the intermediate state.
+    """
+    kick(particles, accel, 0.5 * dt)
+    drift(particles, dt)
+    kick(particles, accel, 0.5 * dt)
+
+
+class LeapfrogIntegrator:
+    """Stateful KDK leapfrog: symplectic second order.
+
+    Usage per step::
+
+        integ.begin_step(accel)   # half-kick + drift
+        ... recompute accel on new positions ...
+        integ.finish_step(accel)  # closing half-kick
+    """
+
+    def __init__(self, particles: ParticleSet, dt: float) -> None:
+        if dt <= 0:
+            raise ValueError(f"dt must be > 0, got {dt}")
+        self.particles = particles
+        self.dt = dt
+        self._open = False
+
+    def begin_step(self, accel: np.ndarray) -> None:
+        if self._open:
+            raise RuntimeError("begin_step called twice without finish_step")
+        kick(self.particles, accel, 0.5 * self.dt)
+        drift(self.particles, self.dt)
+        self._open = True
+
+    def finish_step(self, accel: np.ndarray) -> None:
+        if not self._open:
+            raise RuntimeError("finish_step without begin_step")
+        kick(self.particles, accel, 0.5 * self.dt)
+        self._open = False
+
+
+def total_energy(particles: ParticleSet, potential: np.ndarray) -> float:
+    """Kinetic + potential energy (potential counted once per pair)."""
+    ke = 0.5 * float(np.sum(particles.mass * np.einsum("ij,ij->i", particles.velocity, particles.velocity)))
+    pe = 0.5 * float(np.sum(particles.mass * potential))
+    return ke + pe

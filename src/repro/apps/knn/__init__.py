@@ -1,0 +1,24 @@
+"""k-nearest-neighbour searches on spatial trees.
+
+The paper's motivating second workload (§I) and the neighbour engine behind
+its SPH application (§III-B): ParaTreeT fetches "a fixed number of
+neighbors using the k-nearest neighbors algorithm" with an up-and-down
+traversal whose pruning radius tightens as closer neighbours are found.
+
+Also provides fixed-radius ball searches — both as a building block for
+collision detection and as the primitive of the Gadget-2-style
+smoothing-length iteration baseline.
+"""
+
+from .knn import KNNResult, KNNVisitor, knn_search, brute_force_knn
+from .balls import BallSearchVisitor, ball_search, brute_force_ball
+
+__all__ = [
+    "KNNResult",
+    "KNNVisitor",
+    "knn_search",
+    "brute_force_knn",
+    "BallSearchVisitor",
+    "ball_search",
+    "brute_force_ball",
+]

@@ -1,0 +1,120 @@
+"""Fixed-radius ball searches (neighbour gathering within r).
+
+Used by the Gadget-2-style SPH baseline (repeated fixed-ball searches while
+converging each particle's smoothing length, §III-B) and by collision
+detection (§IV).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core import TraversalStats, get_traverser
+from ...core.util import ranges_to_indices
+from ...core.visitor import Visitor
+from ...geometry import point_box_distance_sq
+from ...trees import SpatialNode, Tree
+
+__all__ = ["BallSearchVisitor", "ball_search", "brute_force_ball"]
+
+
+class BallSearchVisitor(Visitor):
+    """Collects, for every target particle, all particles within its radius.
+
+    ``radii`` is per *particle* (tree order); the bucket-level prune uses
+    the bucket's largest radius.  Results land in ``neighbors``: a list per
+    particle of neighbour index arrays (concatenate to use).
+    """
+
+    def __init__(self, tree: Tree, radii: np.ndarray, include_self: bool = False) -> None:
+        radii = np.asarray(radii, dtype=np.float64)
+        if radii.shape != (tree.n_particles,):
+            raise ValueError("radii must be one per particle (tree order)")
+        if np.any(radii < 0):
+            raise ValueError("radii must be >= 0")
+        self.tree = tree
+        self.radii = radii
+        self.include_self = include_self
+        self.neighbors: list[list[np.ndarray]] = [[] for _ in range(tree.n_particles)]
+
+    def open(self, source: SpatialNode, target: SpatialNode) -> bool:
+        mask = self.open_sources(
+            self.tree, np.array([source.index]), target.index
+        )
+        return bool(mask[0])
+
+    def open_sources(self, tree: Tree, sources: np.ndarray, target: int) -> np.ndarray:
+        s, e = int(tree.pstart[target]), int(tree.pend[target])
+        pos = tree.particles.position[s:e]
+        r = self.radii[s:e]
+        # Open if any target particle's ball can reach the source box.
+        out = np.zeros(len(sources), dtype=bool)
+        for j, src in enumerate(np.asarray(sources)):
+            d2 = point_box_distance_sq(tree.box_lo[src], tree.box_hi[src], pos)
+            out[j] = bool(np.any(d2 <= r * r))
+        return out
+
+    def node(self, source: SpatialNode, target: SpatialNode) -> None:
+        pass
+
+    def node_sources(self, tree: Tree, sources: np.ndarray, target: int) -> None:
+        pass
+
+    def leaf(self, source: SpatialNode, target: SpatialNode) -> None:
+        self.leaf_sources(self.tree, np.array([source.index]), target.index)
+
+    def leaf_sources(self, tree: Tree, sources: np.ndarray, target: int) -> None:
+        ts, te = int(tree.pstart[target]), int(tree.pend[target])
+        tgt_idx = np.arange(ts, te)
+        cand = ranges_to_indices(tree.pstart[sources], tree.pend[sources])
+        pos = tree.particles.position
+        d = pos[cand][None, :, :] - pos[tgt_idx][:, None, :]
+        d2 = np.einsum("tcj,tcj->tc", d, d)
+        r2 = self.radii[ts:te] ** 2
+        hits = d2 <= r2[:, None]
+        if not self.include_self:
+            hits &= tgt_idx[:, None] != cand[None, :]
+        for row, i in enumerate(tgt_idx):
+            found = cand[hits[row]]
+            if len(found):
+                self.neighbors[i].append(found)
+
+    def neighbor_lists(self) -> list[np.ndarray]:
+        return [
+            np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+            for parts in self.neighbors
+        ]
+
+
+def ball_search(
+    tree: Tree,
+    radii: np.ndarray | float,
+    targets: np.ndarray | None = None,
+    include_self: bool = False,
+    traverser: str = "per-bucket",
+) -> tuple[list[np.ndarray], TraversalStats]:
+    """All neighbours within per-particle ``radii``; returns (lists, stats)."""
+    if np.isscalar(radii):
+        radii = np.full(tree.n_particles, float(radii))
+    visitor = BallSearchVisitor(tree, radii, include_self=include_self)
+    stats = get_traverser(traverser).traverse(tree, visitor, targets)
+    return visitor.neighbor_lists(), stats
+
+
+def brute_force_ball(
+    positions: np.ndarray, radii: np.ndarray | float, include_self: bool = False
+) -> list[np.ndarray]:
+    """Reference O(N²) ball search."""
+    positions = np.asarray(positions)
+    n = len(positions)
+    if np.isscalar(radii):
+        radii = np.full(n, float(radii))
+    d = positions[None, :, :] - positions[:, None, :]
+    d2 = np.einsum("ijc,ijc->ij", d, d)
+    out = []
+    for i in range(n):
+        hits = d2[i] <= radii[i] ** 2
+        if not include_self:
+            hits[i] = False
+        out.append(np.flatnonzero(hits))
+    return out

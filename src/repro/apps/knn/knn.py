@@ -1,0 +1,178 @@
+"""k-nearest-neighbour search as an up-and-down traversal.
+
+The Visitor keeps, per particle, its current k best squared distances; a
+source node is opened only while its box is closer to the target bucket
+than the bucket's worst current k-th distance.  Starting the up-and-down
+walk at the target's own leaf makes that radius finite almost immediately,
+and the ``done``/``path_advanced`` hooks stop the climb as soon as the
+search ball is contained in already-visited space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...core import TraversalStats, get_traverser
+from ...core.util import ranges_to_indices
+from ...core.visitor import Visitor
+from ...geometry.box import boxes_box_distance_sq
+from ...trees import SpatialNode, Tree
+
+__all__ = ["KNNResult", "KNNVisitor", "knn_search", "brute_force_knn"]
+
+
+@dataclass
+class KNNResult:
+    """Neighbour lists in *tree order*: row i describes particle i of
+    ``tree.particles``; columns are sorted nearest-first."""
+
+    dist_sq: np.ndarray  # (N, k)
+    index: np.ndarray    # (N, k) neighbour particle indices (tree order)
+    stats: TraversalStats
+
+
+class KNNVisitor(Visitor):
+    """Finds the k nearest *other* particles for every target particle."""
+
+    def __init__(self, tree: Tree, k: int) -> None:
+        n = tree.n_particles
+        if not 1 <= k <= n - 1:
+            raise ValueError(f"k must be in [1, {n - 1}], got {k}")
+        self.tree = tree
+        self.k = k
+        self.dist_sq = np.full((n, k), np.inf)
+        self.index = np.full((n, k), -1, dtype=np.int64)
+        #: worst current neighbour distance per particle
+        self.kth_sq = np.full(n, np.inf)
+        #: per-target-leaf: box of tree covered so far (up-and-down path)
+        self._covered: dict[int, int] = {}
+
+    # -- pruning ---------------------------------------------------------------
+    def _bucket_radius_sq(self, tgt: int) -> float:
+        s, e = int(self.tree.pstart[tgt]), int(self.tree.pend[tgt])
+        return float(self.kth_sq[s:e].max())
+
+    def open(self, source: SpatialNode, target: SpatialNode) -> bool:
+        t = self.tree
+        d2 = boxes_box_distance_sq(
+            t.box_lo[source.index], t.box_hi[source.index],
+            t.box_lo[target.index], t.box_hi[target.index],
+        )
+        return bool(d2 <= self._bucket_radius_sq(target.index))
+
+    def open_sources(self, tree: Tree, sources: np.ndarray, target: int) -> np.ndarray:
+        d2 = boxes_box_distance_sq(
+            tree.box_lo[sources], tree.box_hi[sources],
+            tree.box_lo[target], tree.box_hi[target],
+        )
+        return d2 <= self._bucket_radius_sq(target)
+
+    # -- interactions -------------------------------------------------------------
+    def node(self, source: SpatialNode, target: SpatialNode) -> None:
+        """Pruned nodes contribute nothing to a neighbour search."""
+
+    def node_sources(self, tree: Tree, sources: np.ndarray, target: int) -> None:
+        pass
+
+    def leaf(self, source: SpatialNode, target: SpatialNode) -> None:
+        self._merge(np.array([source.index]), target.index)
+
+    def leaf_sources(self, tree: Tree, sources: np.ndarray, target: int) -> None:
+        self._merge(np.asarray(sources), target)
+
+    def _merge(self, sources: np.ndarray, target: int) -> None:
+        t = self.tree
+        ts, te = int(t.pstart[target]), int(t.pend[target])
+        tgt_idx = np.arange(ts, te)
+        cand = ranges_to_indices(t.pstart[sources], t.pend[sources])
+        if len(cand) == 0:
+            return
+        pos = t.particles.position
+        d = pos[cand][None, :, :] - pos[tgt_idx][:, None, :]
+        d2 = np.einsum("tcj,tcj->tc", d, d)
+        # Exclude self-pairs by index, not by zero distance (coincident
+        # particles are legitimate neighbours).
+        d2[tgt_idx[:, None] == cand[None, :]] = np.inf
+        # Merge candidates into the running top-k.
+        all_d2 = np.concatenate([self.dist_sq[ts:te], d2], axis=1)
+        all_idx = np.concatenate(
+            [self.index[ts:te], np.broadcast_to(cand, d2.shape)], axis=1
+        )
+        if all_d2.shape[1] > self.k:
+            sel = np.argpartition(all_d2, self.k - 1, axis=1)[:, : self.k]
+            rows = np.arange(len(tgt_idx))[:, None]
+            self.dist_sq[ts:te] = all_d2[rows, sel]
+            self.index[ts:te] = all_idx[rows, sel]
+        else:
+            self.dist_sq[ts:te] = all_d2
+            self.index[ts:te] = all_idx
+        self.kth_sq[ts:te] = self.dist_sq[ts:te].max(axis=1)
+
+    # -- best-first support (priority traversal) ---------------------------
+    def priority(self, tree: Tree, source: int, target: int) -> float:
+        """Expansion key for the priority traverser: nearer nodes first, so
+        the k-th distance tightens before distant subtrees are considered."""
+        return float(
+            boxes_box_distance_sq(
+                tree.box_lo[source], tree.box_hi[source],
+                tree.box_lo[target], tree.box_hi[target],
+            )
+        )
+
+    # -- early exit ------------------------------------------------------------
+    def path_advanced(self, target: SpatialNode, path_node: SpatialNode) -> None:
+        self._covered[target.index] = path_node.index
+
+    def done(self, target: SpatialNode) -> bool:
+        covered = self._covered.get(target.index)
+        if covered is None:
+            return False
+        r2 = self._bucket_radius_sq(target.index)
+        if not np.isfinite(r2):
+            return False
+        r = np.sqrt(r2)
+        t = self.tree
+        return bool(
+            np.all(t.box_lo[target.index] - r >= t.box_lo[covered])
+            and np.all(t.box_hi[target.index] + r <= t.box_hi[covered])
+        )
+
+
+def knn_search(
+    tree: Tree,
+    k: int,
+    targets: np.ndarray | None = None,
+    traverser: str = "up-and-down",
+) -> KNNResult:
+    """k nearest neighbours of every particle (or of ``targets``' buckets).
+
+    Rows are sorted nearest-first.  Neighbour indices refer to tree order;
+    use ``tree.particles.orig_index`` to translate back to input labels.
+    """
+    visitor = KNNVisitor(tree, k)
+    stats = get_traverser(traverser).traverse(tree, visitor, targets)
+    order = np.argsort(visitor.dist_sq, axis=1)
+    rows = np.arange(tree.n_particles)[:, None]
+    return KNNResult(
+        dist_sq=visitor.dist_sq[rows, order],
+        index=visitor.index[rows, order],
+        stats=stats,
+    )
+
+
+def brute_force_knn(positions: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Reference O(N²) kNN (excluding self): returns (dist_sq, index)."""
+    positions = np.asarray(positions)
+    n = len(positions)
+    if not 1 <= k <= n - 1:
+        raise ValueError(f"k must be in [1, {n - 1}]")
+    d = positions[None, :, :] - positions[:, None, :]
+    d2 = np.einsum("ijc,ijc->ij", d, d)
+    np.fill_diagonal(d2, np.inf)
+    sel = np.argpartition(d2, k - 1, axis=1)[:, :k]
+    rows = np.arange(n)[:, None]
+    dist = d2[rows, sel]
+    order = np.argsort(dist, axis=1)
+    return dist[rows, order], sel[rows, order]

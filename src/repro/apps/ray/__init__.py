@@ -1,0 +1,18 @@
+"""First-hit ray queries against particle spheres.
+
+The paper names "a priority-driven traversal for ray tracing" as the
+canonical user-defined Traverser (§II-A-2; SPIRIT in §V also proved itself
+on ray tracing).  This app implements it: rays walk the spatial tree
+best-first by entry distance, pruning every subtree that starts beyond the
+current closest hit — the ray-tracing analogue of the kNN radius shrink.
+"""
+
+from .trace import RayHits, trace_rays, brute_force_trace, ray_box_entry, ray_sphere_hit
+
+__all__ = [
+    "RayHits",
+    "trace_rays",
+    "brute_force_trace",
+    "ray_box_entry",
+    "ray_sphere_hit",
+]

@@ -1,0 +1,20 @@
+"""Benchmark-harness utilities: table formatting, workload construction,
+and the paper's reference numbers for side-by-side printing."""
+
+from .tables import format_series, format_table, print_banner
+from .workloads import (
+    GravityWorkload,
+    build_gravity_workload,
+    build_sph_workloads,
+)
+from . import paper_reference
+
+__all__ = [
+    "format_table",
+    "format_series",
+    "print_banner",
+    "GravityWorkload",
+    "build_gravity_workload",
+    "build_sph_workloads",
+    "paper_reference",
+]

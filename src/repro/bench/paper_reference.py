@@ -1,0 +1,76 @@
+"""The paper's reported numbers, for side-by-side printing in benchmarks.
+
+Each constant cites the paper location it was read from.  EXPERIMENTS.md
+records our measured counterparts next to these.
+"""
+
+# -- Table I -------------------------------------------------------------
+TABLE1 = [
+    # name, cores/node, cpu, clock GHz, comm layer
+    ("Summit", 42, "POWER9", 3.1, "UCX"),
+    ("Stampede2", 48, "Skylake", 2.1, "MPI"),
+    ("Bridges2", 128, "EPYC 7742", 2.25, "Infiniband"),
+]
+
+# -- Fig 3 (§II-B-2) ------------------------------------------------------
+#: Core count where the exclusive-write model starts to degrade.
+FIG3_XWRITE_DEGRADES_CORES = 1536
+#: Core count where the single-threaded (per-thread cache) model degrades.
+FIG3_SEQUENTIAL_DEGRADES_CORES = 6144
+FIG3_CORES_PER_PROCESS = 24  # "24 cores to a process, one thread per core"
+
+# -- Fig 9 / §III-A --------------------------------------------------------
+#: "ParaTreeT's built-in load re-balancers can reduce this simulation's
+#: total runtime by 26%" (at 1536 cores).
+LB_IMPROVEMENT_AT_1536 = 0.26
+FIG9_ACTIVITIES = [
+    "local traversal",
+    "cache request",
+    "cache insertion",
+    "traversal resumption",
+]
+
+# -- Fig 10 (§III-A) --------------------------------------------------------
+#: "ParaTreeT performs iterations 2-3x faster from 1 to 256 nodes."
+FIG10_SPEEDUP_RANGE = (2.0, 3.0)
+FIG10_WORKERS_PER_NODE = 84  # "84 workers per node" (42 cores, 2-way SMT)
+
+# -- Table II (§III-A) --------------------------------------------------------
+#: (ParaTreeT, ChaNGa) per CPU count: runtime s, L1D loads 1e9, L1D stores
+#: 1e9, L1 load miss %, L2 load miss %, L3 load miss %, L1&L2 store miss %,
+#: L3 store miss %.
+TABLE2 = {
+    1: ((9.2, 27, 9.0, 3.4, 1.9, 19, 0.036, 62), (16, 47, 21, 1.5, 3.5, 9.2, 0.020, 26)),
+    2: ((5.2, 24, 6.7, 3.8, 1.0, 32, 0.050, 48), (8.0, 38, 15, 1.9, 3.0, 8.1, 0.030, 19)),
+    4: ((2.8, 20, 4.1, 4.4, 1.5, 44, 0.12, 55), (4.3, 36, 12, 2.1, 2.9, 19, 0.046, 35)),
+    8: ((1.6, 18, 3.2, 4.4, 2.1, 32, 0.24, 43), (2.5, 32, 11, 2.3, 3.7, 18, 0.091, 29)),
+    16: ((1.1, 18, 3.0, 3.7, 3.6, 26, 0.33, 43), (1.6, 30, 10, 2.5, 4.6, 22, 0.13, 32)),
+}
+TABLE2_RUNTIME_RATIO = 9.2 / 16  # ParaTreeT / ChaNGa at 1 CPU ≈ 0.575
+
+# -- Fig 11 (§III-B) -----------------------------------------------------------
+#: "ParaTreeT yields a ~10x speedup from 48 to 3072 cores."
+FIG11_SPEEDUP = 10.0
+FIG11_CORE_RANGE = (48, 3072)
+
+# -- Table III (§III-C) ----------------------------------------------------------
+TABLE3 = [
+    ("CentroidData.h", 50, "Define optimized Data functions"),
+    ("GravityVisitor.h", 45, "Define Visitor functions"),
+    ("GravityMain.C", 40, "Specify config, define traversal"),
+]
+TABLE3_TOTAL_GRAVITY_LOC = 135
+TABLE3_SPH_LOC = 250
+TABLE3_CHANGA_LOC = 4500
+
+# -- Fig 12 (§IV-A) ---------------------------------------------------------------
+FIG12_TOTAL_COLLISIONS = 258
+FIG12_PLANET_A = 5.2
+FIG12_DOMINANT_RESONANCE_A = 3.27  # "near the 2:1 resonance at 3.27 AU"
+
+# -- Fig 13 (§IV-B) ----------------------------------------------------------------
+#: "With octree decomposition, load imbalance ... is significant enough to
+#: cancel the benefits of scaling for unfortunate configurations, like at
+#: 192 cores.  The longest-dimension tree has better load balance and can
+#: achieve greater performance, especially at scale."
+FIG13_OCTREE_ANOMALY_CORES = 192

@@ -1,0 +1,50 @@
+"""Plain-text table/figure rendering for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "print_banner", "format_series"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Fixed-width table with right-aligned numeric columns."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(x_label: str, xs: Sequence, series: dict[str, Sequence], title: str = "") -> str:
+    """A figure rendered as a table: one x column, one column per curve."""
+    headers = [x_label] + list(series)
+    rows = [[x] + [series[k][i] for k in series] for i, x in enumerate(xs)]
+    return format_table(headers, rows, title=title)
+
+
+def print_banner(text: str) -> None:
+    bar = "=" * max(len(text), 20)
+    print(f"\n{bar}\n{text}\n{bar}")
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 1e-3:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)

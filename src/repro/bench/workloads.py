@@ -1,0 +1,124 @@
+"""Shared workload construction for the scaling benchmarks.
+
+Every scaling figure starts the same way: run one *real* traversal at
+laptop scale with interaction-list recording, then hand the resulting
+:class:`~repro.runtime.workload.WorkloadSpec` to the DES for each
+(process count, cache model, machine) combination.  Building the traversal
+is the expensive part, so results are memoised per parameter tuple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..apps.gravity import GravityVisitor, compute_centroid_arrays
+from ..apps.knn import knn_search
+from ..apps.sph import gadget_style_density
+from ..core import InteractionLists, TraversalStats, get_traverser
+from ..decomp import Decomposition, decompose, get_decomposer
+from ..particles import ParticleSet, clustered_clumps, keplerian_disk, uniform_cube
+from ..runtime import CostModel, WorkloadSpec, workload_from_traversal
+from ..trees import Tree, build_tree
+
+__all__ = ["GravityWorkload", "build_gravity_workload", "build_sph_workloads"]
+
+_GENERATORS = {
+    "uniform": uniform_cube,
+    "clustered": clustered_clumps,
+    "disk": keplerian_disk,
+}
+
+
+@dataclass
+class GravityWorkload:
+    """Everything a scaling bench needs from the real traversal."""
+
+    tree: Tree
+    decomposition: Decomposition
+    lists: InteractionLists
+    workload: WorkloadSpec
+    stats: TraversalStats
+
+
+@lru_cache(maxsize=8)
+def build_gravity_workload(
+    distribution: str = "clustered",
+    n: int = 25_000,
+    n_partitions: int = 256,
+    n_subtrees: int = 256,
+    tree_type: str = "oct",
+    decomp_type: str = "sfc",
+    theta: float = 0.7,
+    bucket_size: int = 16,
+    nodes_per_request: int = 2,
+    shared_branch_levels: int = 3,
+    seed: int = 7,
+) -> GravityWorkload:
+    """One instrumented Barnes-Hut traversal -> DES workload (memoised)."""
+    particles = _GENERATORS[distribution](n, seed=seed)
+    tree = build_tree(particles, tree_type=tree_type, bucket_size=bucket_size)
+    parts = get_decomposer(decomp_type).assign(tree.particles, n_partitions)
+    dec = decompose(tree, parts, n_subtrees=n_subtrees)
+    visitor = GravityVisitor(tree, compute_centroid_arrays(tree, theta=theta))
+    lists = InteractionLists()
+    stats = get_traverser("transposed").traverse(tree, visitor, None, lists)
+    workload = workload_from_traversal(
+        tree, dec, lists, nodes_per_request=nodes_per_request,
+        shared_branch_levels=shared_branch_levels,
+    )
+    return GravityWorkload(tree, dec, lists, workload, stats)
+
+
+@lru_cache(maxsize=4)
+def build_sph_workloads(
+    n: int = 12_000,
+    k: int = 32,
+    n_partitions: int = 256,
+    seed: int = 9,
+) -> tuple[GravityWorkload, GravityWorkload, int]:
+    """The Fig 11 pair: (ParaTreeT kNN workload, Gadget ball workload,
+    gadget_rounds).
+
+    Both neighbour engines run for real with recording; the Gadget workload
+    carries the summed work of all its smoothing-length iteration rounds.
+    """
+    particles = uniform_cube(n, seed=seed)
+    tree = build_tree(particles, tree_type="oct", bucket_size=16)
+    parts = get_decomposer("sfc").assign(tree.particles, n_partitions)
+    dec = decompose(tree, parts, n_subtrees=n_partitions)
+
+    # ParaTreeT: a single recorded kNN traversal.
+    knn_lists = InteractionLists()
+    from ..apps.knn.knn import KNNVisitor
+
+    visitor = KNNVisitor(tree, k)
+    knn_stats = get_traverser("up-and-down").traverse(tree, visitor, None, knn_lists)
+    knn_wl = workload_from_traversal(tree, dec, knn_lists)
+
+    # Gadget-2 style: the per-round stats give the work multiplier, and one
+    # recorded full ball pass at the converged radii gives the spatial
+    # fetch pattern.
+    gadget_lists = InteractionLists()
+    gadget = gadget_style_density(tree, k=k, tol=2)
+    from ..apps.knn.balls import BallSearchVisitor
+
+    ball_visitor = BallSearchVisitor(tree, gadget.h, include_self=False)
+    get_traverser("per-bucket").traverse(tree, ball_visitor, None, gadget_lists)
+    gadget_wl = workload_from_traversal(tree, dec, gadget_lists)
+    # Scale every bucket's work by the measured rounds ratio so total work
+    # matches what the iteration actually cost.
+    cost = CostModel()
+    measured = (
+        gadget.stats.opens * cost.c_open
+        + gadget.stats.pn_interactions * cost.c_pn
+        + gadget.stats.pp_interactions * cost.c_pp
+    )
+    scale = measured / max(gadget_wl.total_work, 1e-30)
+    for bucket in gadget_wl.buckets:
+        for g in bucket.work_by_group:
+            bucket.work_by_group[g] *= scale
+
+    knn_gw = GravityWorkload(tree, dec, knn_lists, knn_wl, knn_stats)
+    gadget_gw = GravityWorkload(tree, dec, gadget_lists, gadget_wl, gadget.stats)
+    return knn_gw, gadget_gw, gadget.n_rounds

@@ -1,0 +1,41 @@
+"""Software cache for remote tree data (paper §II-B).
+
+Two complementary pieces:
+
+* :mod:`repro.cache.concurrent` — a *functional* shared-memory tree cache
+  run under real Python threads, implementing the paper's six-step fill
+  protocol (request flag → serialize → reconstruct → wire → atomic swap →
+  resume).  Used to test the "valid at all times" wait-free invariant.
+* :mod:`repro.cache.models` + :mod:`repro.cache.stats` — the *performance*
+  models of the four cache designs the paper compares (WaitFree, XWrite,
+  Sequential, per-thread), expressed as policies the DES interprets, plus
+  the fetch-statistics calculator that turns a real traversal into
+  communication volume per process.
+"""
+
+from .models import (
+    CacheModel,
+    WAITFREE,
+    XWRITE,
+    SEQUENTIAL,
+    PER_THREAD,
+    SINGLE_WRITER,
+    CACHE_MODELS,
+)
+from .concurrent import SharedTreeCache, CacheEntry
+from .stats import FetchStats, fetch_statistics, assign_fetch_groups
+
+__all__ = [
+    "CacheModel",
+    "WAITFREE",
+    "XWRITE",
+    "SEQUENTIAL",
+    "PER_THREAD",
+    "SINGLE_WRITER",
+    "CACHE_MODELS",
+    "SharedTreeCache",
+    "CacheEntry",
+    "FetchStats",
+    "fetch_statistics",
+    "assign_fetch_groups",
+]

@@ -1,0 +1,295 @@
+"""A functional shared-memory tree cache under real threads (paper §II-B-1).
+
+This implements the mechanism of Fig 2 faithfully enough to test its key
+safety property — *"This wait-free model maintains the software cache in a
+valid state at all times"* — with genuine Python threads:
+
+* the cache is a single tree per process, not a hash table: entries hold
+  child references directly;
+* placeholder entries represent remote data and carry a once-only
+  ``requested`` flag (step 0: first toucher sends the request, everyone
+  else keeps working);
+* a fill (steps 1-3) builds the incoming subtree *off to the side* — fresh
+  ``CacheEntry`` objects wired parent/child, leaves populated, deeper
+  placeholders created, the subtree-root hash table consulted for segments
+  already local;
+* only then is the placeholder swapped into the tree with a single
+  reference assignment (step 4) — the only mutation readers can observe,
+  and it is atomic, so a reader sees either the placeholder or the complete
+  subtree, never a half-built state;
+* paused traversals parked on the placeholder are released after the swap
+  (step 5).
+
+CPython's GIL makes single reference assignments atomic, which stands in
+for the C++ relaxed atomic store; the *protocol* (publish only after fully
+wiring) is what carries the invariant, and that is what the threaded tests
+hammer.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from ..trees import Tree
+
+__all__ = ["CacheEntry", "SharedTreeCache"]
+
+
+@dataclass
+class CacheEntry:
+    """One node of the per-process software-cache tree."""
+
+    key: int
+    node_index: int  # index in the global tree (== home node id)
+    is_placeholder: bool
+    payload: Any = None  # node summary data once filled (e.g. moments)
+    children: tuple["CacheEntry", ...] = ()
+    #: once-only request flag (atomic test-and-set via Lock)
+    _requested: bool = False
+    _req_lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    #: callbacks parked until this placeholder is filled
+    _waiters: list[Callable[[], None]] = field(default_factory=list, repr=False)
+
+    def try_claim_request(self) -> bool:
+        """Atomically set the requested flag; True for the first claimant."""
+        with self._req_lock:
+            if self._requested:
+                return False
+            self._requested = True
+            return True
+
+
+class SharedTreeCache:
+    """Per-process view of the global tree with remote placeholders.
+
+    Parameters
+    ----------
+    tree:
+        The global tree (plays the role of "all home processes" — fills are
+        served from it).
+    node_process:
+        (n_nodes,) home process of each node, -1 for the replicated branch.
+    process:
+        Which process this cache belongs to.
+    payload_fn:
+        Extracts the shipped per-node payload, e.g. centroid data:
+        ``payload_fn(node_index) -> object``.
+    nodes_per_request:
+        How many descendant levels a fill ships (the paper's
+        "user-specified number of its descendants").
+    """
+
+    def __init__(
+        self,
+        tree: Tree,
+        node_process: np.ndarray,
+        process: int,
+        payload_fn: Callable[[int], Any] | None = None,
+        nodes_per_request: int = 3,
+        shared_branch_levels: int = 3,
+    ) -> None:
+        self.tree = tree
+        self.node_process = np.asarray(node_process)
+        self.process = process
+        self.payload_fn = payload_fn or (lambda i: None)
+        self.nodes_per_request = nodes_per_request
+        self.shared_branch_levels = shared_branch_levels
+        #: process-level hash table of local subtree roots (paper Fig 2,
+        #: bottom-left).  Locked during build, read-only during traversal.
+        self._local_roots: dict[int, CacheEntry] = {}
+        self._build_lock = threading.Lock()
+        self.requests_sent = 0
+        self.fills_applied = 0
+        self._stats_lock = threading.Lock()
+        self.root = self._bootstrap()
+
+    # -- construction -------------------------------------------------------
+    def _materialize_local(self, node_index: int) -> CacheEntry:
+        """Fully build the local subtree under ``node_index``."""
+        t = self.tree
+        children = tuple(
+            self._materialize_local(int(c)) for c in t.children(node_index)
+        )
+        entry = CacheEntry(
+            key=int(t.key[node_index]),
+            node_index=node_index,
+            is_placeholder=False,
+            payload=self.payload_fn(node_index),
+            children=children,
+        )
+        return entry
+
+    def _bootstrap(self) -> CacheEntry:
+        """Tree-build step: local subtrees inserted under the global root,
+        with the top ``shared_branch_levels`` replicated and the rest of the
+        remote tree as placeholders."""
+
+        def build(node_index: int, depth: int) -> CacheEntry:
+            home = self.node_process[node_index]
+            if home == self.process:
+                # A subtree this process owns: fully materialise and publish
+                # its root in the hash table.
+                entry = self._materialize_local(node_index)
+                with self._build_lock:
+                    self._local_roots[entry.key] = entry
+                return entry
+            if home == -1 or depth < self.shared_branch_levels:
+                # The shared branch (above all subtree roots) and the first
+                # ``shared_branch_levels`` of the tree are replicated to
+                # every process; descend into children.
+                children = tuple(
+                    build(int(c), depth + 1) for c in self.tree.children(node_index)
+                )
+                return CacheEntry(
+                    key=int(self.tree.key[node_index]),
+                    node_index=node_index,
+                    is_placeholder=False,
+                    payload=self.payload_fn(node_index),
+                    children=children,
+                )
+            # Remote subtree data beyond the replicated levels.
+            return CacheEntry(
+                key=int(self.tree.key[node_index]),
+                node_index=node_index,
+                is_placeholder=True,
+            )
+
+        return build(self.tree.root, 0)
+
+    # -- the six-step fill protocol ------------------------------------------
+    def request_fill(
+        self,
+        parent: CacheEntry,
+        child_slot: int,
+        on_resume: Callable[[], None] | None = None,
+    ) -> bool:
+        """A traversal hit placeholder ``parent.children[child_slot]``.
+
+        Returns True if this call issued the (first) request; False if the
+        request was already in flight (the waiter is still parked either
+        way).  The fill itself runs synchronously on the calling thread in
+        this in-process model — in the DES the latency/bandwidth costs are
+        simulated instead.
+        """
+        placeholder = parent.children[child_slot]
+        if not placeholder.is_placeholder:
+            if on_resume:
+                on_resume()
+            return False
+        if on_resume:
+            placeholder._waiters.append(on_resume)
+        if not placeholder.try_claim_request():
+            return False
+        with self._stats_lock:
+            self.requests_sent += 1
+        # Step 1: home process serialises the node + descendants (here we
+        # read them straight from the global tree).
+        shipped = self._ship(placeholder.node_index, self.nodes_per_request)
+        # Steps 2-3: reconstruct off to the side; check the hash table for
+        # segments that are already local; create deeper placeholders.
+        new_entry = self._reconstruct(shipped)
+        # Step 4: the atomic swap — the only visible mutation.
+        new_children = list(parent.children)
+        new_children[child_slot] = new_entry
+        parent.children = tuple(new_children)
+        with self._stats_lock:
+            self.fills_applied += 1
+        # Step 5: resume parked traversals.
+        waiters = placeholder._waiters
+        placeholder._waiters = []
+        for w in waiters:
+            w()
+        return True
+
+    def _ship(self, node_index: int, levels: int) -> list[tuple[int, int, int]]:
+        """Serialize ``node_index`` and ``levels`` of descendants as
+        ``(node_index, parent_position, depth)`` triples (a collapsed array,
+        like the wire format in Fig 2)."""
+        out: list[tuple[int, int, int]] = []
+        stack = [(node_index, -1, 0)]
+        while stack:
+            idx, parent_pos, depth = stack.pop()
+            pos = len(out)
+            out.append((idx, parent_pos, depth))
+            if depth < levels:
+                for c in self.tree.children(idx):
+                    stack.append((int(c), pos, depth + 1))
+        return out
+
+    def _reconstruct(self, shipped: list[tuple[int, int, int]]) -> CacheEntry:
+        """Wire shipped triples into CacheEntry objects (fills), creating
+        placeholders for children beyond the shipped horizon and reusing
+        already-local subtrees found in the hash table."""
+        max_depth = max(d for _, _, d in shipped)
+        entries: list[CacheEntry] = []
+        kids: list[list[CacheEntry]] = []
+        shipped_set = {idx for idx, _, _ in shipped}
+        for idx, parent_pos, depth in shipped:
+            entry = CacheEntry(
+                key=int(self.tree.key[idx]),
+                node_index=idx,
+                is_placeholder=False,
+                payload=self.payload_fn(idx),
+            )
+            entries.append(entry)
+            kids.append([])
+            if parent_pos >= 0:
+                kids[parent_pos].append(entry)
+            if depth == max_depth or any(
+                int(c) not in shipped_set for c in self.tree.children(idx)
+            ):
+                # Children beyond the horizon: local segments come from the
+                # hash table; the rest become placeholders.
+                for c in self.tree.children(idx):
+                    c = int(c)
+                    if c in shipped_set:
+                        continue
+                    local = self._local_roots.get(int(self.tree.key[c]))
+                    if local is not None:
+                        kids[len(entries) - 1].append(local)
+                    else:
+                        kids[len(entries) - 1].append(
+                            CacheEntry(
+                                key=int(self.tree.key[c]),
+                                node_index=c,
+                                is_placeholder=True,
+                            )
+                        )
+        for entry, children in zip(entries, kids):
+            if children:
+                entry.children = tuple(children)
+        return entries[0]
+
+    # -- queries --------------------------------------------------------------
+    def find(self, key: int) -> CacheEntry | None:
+        """Walk the cache tree for the entry with ``key``; placeholders end
+        the walk (a traversal would request a fill there)."""
+        stack = [self.root]
+        while stack:
+            e = stack.pop()
+            if e.key == key:
+                return e
+            if not e.is_placeholder:
+                stack.extend(e.children)
+        return None
+
+    def validate(self) -> None:
+        """The wait-free invariant: every reachable entry is either a
+        placeholder or fully wired (children tuples, payload present when
+        the payload_fn provides one); keys match the global tree."""
+        stack = [self.root]
+        seen = 0
+        while stack:
+            e = stack.pop()
+            seen += 1
+            assert e.key == int(self.tree.key[e.node_index]), "key mismatch"
+            if e.is_placeholder:
+                assert e.children == (), "placeholder with children"
+            else:
+                assert isinstance(e.children, tuple)
+                stack.extend(e.children)
+        assert seen >= 1

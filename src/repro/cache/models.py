@@ -1,0 +1,74 @@
+"""Cache-design policy descriptions (paper §II-B-2, Fig 3).
+
+Each model answers three questions the DES needs:
+
+1. **dedupe scope** — is one fetch of a tree segment shared by the whole
+   process ("process") or does every worker thread fetch its own copy
+   ("thread", the ChaNGa per-thread cache whose duplicated requests the
+   paper calls out in §III-A)?
+2. **dedupe time** — is a duplicate request suppressed the moment the first
+   request is *issued* (the placeholder's atomic requested flag: "request")
+   or only once the fill has been *inserted* ("insert")?  The single-writer
+   model dedupes at insert time: while fills wait in the writer thread's
+   queue, other threads that miss keep requesting — this is why the paper
+   says the sequential approach "requires more communication volume".
+3. **insert policy** — who performs fills: any worker in parallel
+   ("parallel", the wait-free tree swap), workers serialized by a mutex
+   ("locked", exclusive-write), or one designated thread
+   ("single_thread").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CacheModel", "WAITFREE", "XWRITE", "SEQUENTIAL", "PER_THREAD", "SINGLE_WRITER", "CACHE_MODELS"]
+
+
+@dataclass(frozen=True)
+class CacheModel:
+    name: str
+    dedupe_scope: str  # "process" | "thread"
+    dedupe_time: str   # "request" | "insert"
+    insert_policy: str  # "parallel" | "locked" | "single_thread"
+
+    def __post_init__(self) -> None:
+        if self.dedupe_scope not in ("process", "thread"):
+            raise ValueError(f"bad dedupe_scope {self.dedupe_scope!r}")
+        if self.dedupe_time not in ("request", "insert"):
+            raise ValueError(f"bad dedupe_time {self.dedupe_time!r}")
+        if self.insert_policy not in ("parallel", "locked", "single_thread"):
+            raise ValueError(f"bad insert_policy {self.insert_policy!r}")
+
+
+#: ParaTreeT's wait-free shared-memory cache: one fetch per process, atomic
+#: requested flag, fills performed in parallel by the least busy worker.
+WAITFREE = CacheModel("WaitFree", "process", "request", "parallel")
+
+#: Exclusive-write shared cache: like WaitFree but every insertion takes a
+#: process-wide lock.
+XWRITE = CacheModel("XWrite", "process", "request", "locked")
+
+#: Fig 3's "Sequential": the per-thread software cache, maintained
+#: single-threadedly by its owning worker (§II-B-2 "comparing against a
+#: per-thread software cache and an exclusive-write shared-memory cache").
+#: No cross-thread sharing, so each worker fetches its own copy — "more
+#: communication volume and memory footprint than the two shared-memory
+#: approaches" — but insertions never contend, so the extra traffic hides
+#: behind compute until the critical path goes communication-bound.
+SEQUENTIAL = CacheModel("Sequential", "thread", "request", "parallel")
+
+#: ChaNGa's cache organisation (same mechanics as Sequential; separate name
+#: because Fig 10 uses it as part of the ChaNGa baseline: §III-A "ChaNGa
+#: often makes the same remote fetch for multiple worker threads within the
+#: same process").
+PER_THREAD = CacheModel("PerThread", "thread", "request", "parallel")
+
+#: Ablation: a process-shared cache whose fills all funnel through one
+#: designated writer thread ("assigning all cache inserts to a single
+#: thread, which is simpler than designing thread-safe cache insertions").
+SINGLE_WRITER = CacheModel("SingleWriter", "process", "request", "single_thread")
+
+CACHE_MODELS: dict[str, CacheModel] = {
+    m.name: m for m in (WAITFREE, XWRITE, SEQUENTIAL, PER_THREAD, SINGLE_WRITER)
+}

@@ -1,0 +1,202 @@
+"""Fetch statistics: turning a real traversal into communication volume.
+
+Given the interaction lists of an actual traversal and a Partitions–Subtrees
+placement, compute — per simulated process — how many remote fetch *groups*
+are requested, how many request messages each cache model sends, and how
+many bytes move.  A fetch group is the unit a single request ships: the
+requested node plus ``nodes_per_request`` levels of descendants, i.e. a
+depth band of one subtree (paper §II-B-1: "the requested node and a
+user-specified number of its descendants ... are serialized and sent").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.traverser import InteractionLists
+from ..decomp import Decomposition
+from ..trees import Tree
+from .models import CacheModel
+
+__all__ = ["FetchGroups", "FetchStats", "assign_fetch_groups", "fetch_statistics"]
+
+#: Serialized bytes per tree node (key, box, moments — ChaNGa-like ~200B).
+NODE_BYTES = 200
+#: Serialized bytes per particle in shipped leaves.
+PARTICLE_BYTES = 48
+
+
+@dataclass
+class FetchGroups:
+    """Dense grouping of tree nodes into fetch units."""
+
+    #: (n_nodes,) group id per node; -1 for the replicated shared branch.
+    group_of_node: np.ndarray
+    #: (n_groups,) owning subtree of each group.
+    group_subtree: np.ndarray
+    #: (n_groups,) serialized size of each group in bytes.
+    group_bytes: np.ndarray
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.group_subtree)
+
+
+def assign_fetch_groups(
+    tree: Tree,
+    decomp: Decomposition,
+    nodes_per_request: int = 3,
+    shared_branch_levels: int = 3,
+) -> FetchGroups:
+    """Partition all tree nodes into fetch groups.
+
+    Nodes in the shared branch (above every subtree root, or within
+    ``shared_branch_levels`` of the global root) are replicated to every
+    process up front and never fetched (group -1).
+    """
+    n = tree.n_nodes
+    group_of_node = np.full(n, -1, dtype=np.int64)
+    subtree_root_level = {st.index: int(tree.level[st.root]) for st in decomp.subtrees}
+
+    pair_to_group: dict[tuple[int, int], int] = {}
+    group_subtree_list: list[int] = []
+    node_subtree = decomp.node_subtree
+    levels = tree.level
+    for i in range(n):
+        st = int(node_subtree[i])
+        if st < 0 or levels[i] < shared_branch_levels:
+            continue
+        band = (int(levels[i]) - subtree_root_level[st]) // max(nodes_per_request, 1)
+        key = (st, band)
+        g = pair_to_group.get(key)
+        if g is None:
+            g = len(group_subtree_list)
+            pair_to_group[key] = g
+            group_subtree_list.append(st)
+        group_of_node[i] = g
+
+    n_groups = len(group_subtree_list)
+    group_bytes = np.zeros(n_groups, dtype=np.float64)
+    counts = tree.pend - tree.pstart
+    is_leaf = tree.first_child == -1
+    for i in range(n):
+        g = group_of_node[i]
+        if g < 0:
+            continue
+        group_bytes[g] += NODE_BYTES
+        if is_leaf[i]:
+            group_bytes[g] += PARTICLE_BYTES * int(counts[i])
+    return FetchGroups(
+        group_of_node=group_of_node,
+        group_subtree=np.asarray(group_subtree_list, dtype=np.int64),
+        group_bytes=group_bytes,
+    )
+
+
+@dataclass
+class FetchStats:
+    """Per-process communication summary for one cache model."""
+
+    n_processes: int
+    cache_model: str
+    #: unique (process, group) fetches actually needed
+    unique_fetches: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    #: request messages sent (≥ unique under thread-scope / insert-dedupe)
+    requests: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    #: bytes received per process
+    bytes_in: np.ndarray = field(default_factory=lambda: np.zeros(0))
+
+    @property
+    def total_requests(self) -> int:
+        return int(self.requests.sum())
+
+    @property
+    def total_bytes(self) -> float:
+        return float(self.bytes_in.sum())
+
+    @property
+    def duplication_factor(self) -> float:
+        u = self.unique_fetches.sum()
+        return float(self.requests.sum() / u) if u else 1.0
+
+
+def fetch_statistics(
+    tree: Tree,
+    lists: InteractionLists,
+    decomp: Decomposition,
+    groups: FetchGroups,
+    n_processes: int,
+    cache_model: CacheModel,
+    workers_per_process: int = 1,
+    inflight_duplication: float = 1.3,
+) -> FetchStats:
+    """Communication volume per process for one cache model.
+
+    Buckets are assigned to worker threads round-robin within their process
+    to estimate thread-scope duplication.  ``inflight_duplication`` models
+    insert-time dedupe (the Sequential design): requests issued while a fill
+    is queued behind the single writer are not suppressed; 1.0 means no
+    duplicates.
+    """
+    n_parts = len(decomp.partitions)
+    leaf_part = _leaf_partition(tree, decomp)
+    part_proc = (np.arange(n_parts, dtype=np.int64) * n_processes) // n_parts
+    n_subtrees = len(decomp.subtrees)
+    st_proc = (np.arange(n_subtrees, dtype=np.int64) * n_processes) // n_subtrees
+
+    # (process, group) and (process, thread, group) visit sets.
+    proc_groups: list[set[int]] = [set() for _ in range(n_processes)]
+    thread_groups: list[set[tuple[int, int]]] = [set() for _ in range(n_processes)]
+    bytes_in = np.zeros(n_processes)
+
+    bucket_seq: dict[int, int] = {}
+    for leaf, visited in lists.visited.items():
+        part = int(leaf_part[leaf])
+        proc = int(part_proc[part])
+        thread = bucket_seq.setdefault(leaf, len(bucket_seq)) % max(workers_per_process, 1)
+        for node in visited:
+            g = int(groups.group_of_node[node])
+            if g < 0:
+                continue  # shared branch: replicated
+            home = int(st_proc[groups.group_subtree[g]])
+            if home == proc:
+                continue  # local subtree
+            if g not in proc_groups[proc]:
+                proc_groups[proc].add(g)
+                bytes_in[proc] += groups.group_bytes[g]
+            thread_groups[proc].add((thread, g))
+
+    unique = np.array([len(s) for s in proc_groups], dtype=np.float64)
+    if cache_model.dedupe_scope == "thread":
+        requests = np.array([len(s) for s in thread_groups], dtype=np.float64)
+        # every duplicate request pulls its own copy of the bytes
+        with np.errstate(divide="ignore", invalid="ignore"):
+            scale = np.where(unique > 0, requests / np.maximum(unique, 1), 1.0)
+        bytes_eff = bytes_in * scale
+    elif cache_model.dedupe_time == "insert":
+        requests = unique * inflight_duplication
+        bytes_eff = bytes_in * inflight_duplication
+    else:
+        requests = unique
+        bytes_eff = bytes_in
+
+    return FetchStats(
+        n_processes=n_processes,
+        cache_model=cache_model.name,
+        unique_fetches=unique,
+        requests=requests,
+        bytes_in=bytes_eff,
+    )
+
+
+def _leaf_partition(tree: Tree, decomp: Decomposition) -> np.ndarray:
+    """Majority-owner partition per leaf (split buckets are rare, §II-C-1)."""
+    out = np.zeros(tree.n_nodes, dtype=np.int64)
+    pp = decomp.particle_partition
+    for leaf in tree.leaf_indices:
+        s, e = int(tree.pstart[leaf]), int(tree.pend[leaf])
+        vals, cnt = np.unique(pp[s:e], return_counts=True)
+        out[leaf] = vals[np.argmax(cnt)]
+    return out

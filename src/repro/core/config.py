@@ -1,0 +1,76 @@
+"""Run configuration (paper §II-D-2, Fig 8).
+
+"To conduct a simulation with ParaTreeT, the user first defines a
+configuration object for initialization ... input file name, number of
+iterations, load balancing period, minimum number of Subtrees and
+Partitions, decomposition type, tree type, among others.  Users can also
+tune other performance-specific hyperparameters: number of nodes fetched per
+request, number of branch nodes shared across all processors, and load
+balancing frequency."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..trees import TreeBuildConfig, TreeType
+
+__all__ = ["Configuration"]
+
+
+@dataclass
+class Configuration:
+    """All knobs of a ParaTreeT run.
+
+    Attributes mirror the paper's ``Configuration``; performance
+    hyperparameters (``nodes_per_request``, ``shared_branch_levels``) feed
+    the software-cache layer and the runtime simulator.
+    """
+
+    input_file: str | None = None
+    num_iterations: int = 1
+    tree_type: TreeType | str = TreeType.OCT
+    decomp_type: str = "sfc"
+    bucket_size: int = 16
+    #: Minimum number of Partitions (load units); 0 = one per target bucket
+    #: group chosen automatically.
+    num_partitions: int = 8
+    #: Minimum number of Subtrees (memory units).
+    num_subtrees: int = 8
+    #: Which traversal engine drives ``start_down`` ("transposed" is the
+    #: ParaTreeT default; "per-bucket"/"basic" is the classic style).
+    traverser: str = "transposed"
+    #: Iterations between load re-balancing; 0 disables (the paper's
+    #: evaluation runs with LB off).
+    lb_period: int = 0
+    lb_strategy: str = "sfc"
+    #: Iterations between full flush/redistribution of particles.
+    flush_period: int = 0
+    #: Cache hyperparameter: how many descendant levels of a requested node
+    #: the home process ships with each fill.
+    nodes_per_request: int = 3
+    #: Cache hyperparameter: how many top levels of the global tree are
+    #: broadcast to every process before traversal starts.
+    shared_branch_levels: int = 3
+    #: Random seed threaded through generators for reproducibility.
+    seed: int = 0
+    #: Free-form application-specific options.
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.tree_type = TreeType(self.tree_type)
+        if self.num_iterations < 0:
+            raise ValueError("num_iterations must be >= 0")
+        if self.bucket_size < 1:
+            raise ValueError("bucket_size must be >= 1")
+        if self.num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        if self.num_subtrees < 1:
+            raise ValueError("num_subtrees must be >= 1")
+        if self.nodes_per_request < 1:
+            raise ValueError("nodes_per_request must be >= 1")
+        if self.shared_branch_levels < 0:
+            raise ValueError("shared_branch_levels must be >= 0")
+
+    def tree_build_config(self) -> TreeBuildConfig:
+        return TreeBuildConfig(tree_type=self.tree_type, bucket_size=self.bucket_size)

@@ -1,0 +1,250 @@
+"""The application Driver (paper §II-D, Fig 8).
+
+Users subclass :class:`Driver`, override ``configure`` /
+``create_particles`` / ``prepare`` / ``traversal`` / ``post_traversal``, and
+call :meth:`Driver.run`.  Per iteration the library performs the full
+pipeline the paper describes:
+
+1. find Partition splitters via the configured decomposition type and mark
+   particles;
+2. build the tree (Subtrees are decomposed consistently with it);
+3. the leaf-sharing step reconciles the two views (Partitions–Subtrees);
+4. user ``prepare`` extracts Data (leaves → root);
+5. user ``traversal`` starts visitors through the :class:`Partitions`
+   facade (``start_down`` etc.);
+6. user ``post_traversal`` does non-traversal physics (collisions, SPH
+   updates, integration);
+7. optional measured-load re-balancing every ``lb_period`` iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..particles import ParticleSet, load_particles
+from ..trees import Tree, build_tree
+from ..decomp import Decomposition, decompose, get_decomposer
+from ..decomp.loadbalance import sfc_rebalance, spatial_bisection_rebalance
+from .config import Configuration
+from .traverser import (
+    BucketLoadRecorder,
+    Recorder,
+    TraversalStats,
+    get_traverser,
+)
+from .visitor import Visitor
+
+__all__ = ["Driver", "Partitions", "IterationReport"]
+
+
+class Partitions:
+    """Facade over the partition set: launches traversals for the buckets
+    the partitions own (``partitions().startDown<Visitor>()`` in Fig 8)."""
+
+    def __init__(self, driver: "Driver") -> None:
+        self._driver = driver
+
+    @property
+    def decomposition(self) -> Decomposition:
+        return self._driver.decomposition
+
+    def _targets(self) -> np.ndarray:
+        return self._driver.tree.leaf_indices
+
+    def _run(self, traverser_name: str, visitor: Visitor) -> TraversalStats:
+        driver = self._driver
+        engine = get_traverser(traverser_name)
+        recorders = [r for r in (driver._load_recorder, driver._extra_recorder) if r]
+        recorder = _MultiRecorder(recorders) if recorders else None
+        stats = engine.traverse(driver.tree, visitor, self._targets(), recorder)
+        driver.last_stats.merge(stats)
+        return stats
+
+    def start_down(self, visitor: Visitor) -> TraversalStats:
+        """Top-down traversal with the configured engine (paper: startDown)."""
+        return self._run(self._driver.config.traverser, visitor)
+
+    def start_basic_down(self, visitor: Visitor) -> TraversalStats:
+        """Force the classic per-bucket DFS ("BasicTrav")."""
+        return self._run("per-bucket", visitor)
+
+    def start_up_and_down(self, visitor: Visitor) -> TraversalStats:
+        return self._run("up-and-down", visitor)
+
+    def start_dual(self, visitor: Visitor) -> TraversalStats:
+        engine = get_traverser("dual-tree")
+        stats = engine.traverse(self._driver.tree, visitor, None, None)
+        self._driver.last_stats.merge(stats)
+        return stats
+
+
+class _MultiRecorder(Recorder):
+    def __init__(self, recorders: list[Recorder]) -> None:
+        self.recorders = recorders
+
+    def on_open(self, tree, sources, targets):
+        for r in self.recorders:
+            r.on_open(tree, sources, targets)
+
+    def on_node(self, tree, sources, targets):
+        for r in self.recorders:
+            r.on_node(tree, sources, targets)
+
+    def on_leaf(self, tree, sources, targets):
+        for r in self.recorders:
+            r.on_leaf(tree, sources, targets)
+
+
+@dataclass
+class IterationReport:
+    """What one iteration did; collected in ``Driver.reports``."""
+
+    iteration: int
+    stats: TraversalStats
+    partition_loads: np.ndarray
+    imbalance: float
+    n_split_buckets: int
+    n_shared_particles: int
+    rebalanced: bool = False
+    user: dict[str, Any] = field(default_factory=dict)
+
+
+class Driver:
+    """Base class for ParaTreeT applications."""
+
+    def __init__(self, config: Configuration | None = None) -> None:
+        self.config = config or Configuration()
+        self.particles: ParticleSet | None = None
+        self.tree: Tree | None = None
+        self.decomposition: Decomposition | None = None
+        self.last_stats = TraversalStats()
+        self.reports: list[IterationReport] = []
+        self._partitions = Partitions(self)
+        self._load_recorder: BucketLoadRecorder | None = None
+        self._extra_recorder: Recorder | None = None
+        self._pending_assignment: np.ndarray | None = None
+
+    # -- user hooks ---------------------------------------------------------
+    def configure(self, config: Configuration) -> None:
+        """Mutate ``config`` before the run starts (paper Fig 8)."""
+
+    def create_particles(self, config: Configuration) -> ParticleSet:
+        """Provide the particle set when no input file is configured."""
+        raise NotImplementedError(
+            "set config.input_file or override create_particles()"
+        )
+
+    def prepare(self, tree: Tree) -> None:
+        """Extract per-node Data after the tree build (leaves -> root)."""
+
+    def traversal(self, iteration: int) -> None:
+        """Start visitors via ``self.partitions()``."""
+        raise NotImplementedError
+
+    def post_traversal(self, iteration: int) -> None:
+        """Non-traversal work: integration, collisions, output, ..."""
+
+    # -- library ------------------------------------------------------------
+    def partitions(self) -> Partitions:
+        return self._partitions
+
+    def set_recorder(self, recorder: Recorder | None) -> None:
+        """Attach an observer to every traversal (profiling, memsim)."""
+        self._extra_recorder = recorder
+
+    def run(self) -> list[IterationReport]:
+        self.configure(self.config)
+        cfg = self.config
+        if self.particles is None:
+            if cfg.input_file:
+                self.particles = load_particles(cfg.input_file)
+            else:
+                self.particles = self.create_particles(cfg)
+        for it in range(cfg.num_iterations):
+            self.run_iteration(it)
+        return self.reports
+
+    def run_iteration(self, iteration: int) -> IterationReport:
+        """One full decompose/build/traverse/post cycle."""
+        cfg = self.config
+        assert self.particles is not None
+
+        # 1. Partition splitters + particle marking.  A flush (paper
+        # §II-D-1: "ParaTreeT rebuilds and reassigns partitions during a
+        # 'flush' step if load ever becomes irreparably imbalanced")
+        # discards any carried-over assignment and re-decomposes from
+        # scratch — periodically via ``flush_period`` and reactively when
+        # the previous iteration's imbalance exceeded the threshold in
+        # ``config.extra["flush_imbalance"]``.
+        flush = cfg.flush_period > 0 and iteration > 0 and iteration % cfg.flush_period == 0
+        threshold = cfg.extra.get("flush_imbalance")
+        if threshold is not None and self.reports:
+            flush = flush or self.reports[-1].imbalance > float(threshold)
+        if flush:
+            self._pending_assignment = None
+        if self._pending_assignment is not None:
+            part_ids = self._pending_assignment
+            self._pending_assignment = None
+            rebalanced = True
+        else:
+            decomposer = get_decomposer(cfg.decomp_type)
+            part_ids = decomposer.assign(self.particles, cfg.num_partitions)
+            rebalanced = False
+
+        # 2. Tree build (particles get permuted into tree order).  part_ids
+        # are indexed by the pre-build ordering; recover the build's
+        # permutation from orig_index — unique labels, but not necessarily
+        # contiguous (merging/removal keeps original labels).
+        prev_labels = self.particles.orig_index
+        sorter = np.argsort(prev_labels)
+        self.tree = build_tree(self.particles, cfg.tree_build_config())
+        self.particles = self.tree.particles
+        build_order = sorter[
+            np.searchsorted(prev_labels, self.particles.orig_index, sorter=sorter)
+        ]  # tree position -> pre-build position
+        tree_order_parts = part_ids[build_order]
+
+        # 3. Partitions-Subtrees decomposition + leaf sharing.
+        self.decomposition = decompose(
+            self.tree, tree_order_parts, cfg.num_subtrees, n_processes=cfg.num_partitions
+        )
+
+        # 4. Data extraction.
+        self.prepare(self.tree)
+
+        # 5. Traversal.
+        self.last_stats = TraversalStats()
+        want_lb = cfg.lb_period > 0 and (iteration + 1) % cfg.lb_period == 0
+        self._load_recorder = BucketLoadRecorder(self.tree) if want_lb else None
+        self.traversal(iteration)
+
+        # 6. Post-traversal physics.
+        self.post_traversal(iteration)
+
+        # 7. Measured-load re-balancing.
+        loads = self.decomposition.partition_loads()
+        if want_lb and self._load_recorder is not None:
+            per_particle = self._load_recorder.per_particle_load(self.tree)
+            if cfg.lb_strategy == "sfc":
+                new_parts = sfc_rebalance(self.particles, per_particle, cfg.num_partitions)
+            else:
+                new_parts = spatial_bisection_rebalance(
+                    self.particles, per_particle, cfg.num_partitions
+                )
+            self._pending_assignment = new_parts
+        self._load_recorder = None
+
+        report = IterationReport(
+            iteration=iteration,
+            stats=self.last_stats,
+            partition_loads=loads,
+            imbalance=float(loads.max() / loads.mean()) if loads.sum() else 1.0,
+            n_split_buckets=self.decomposition.n_split_buckets,
+            n_shared_particles=self.decomposition.n_shared_particles,
+            rebalanced=rebalanced,
+        )
+        self.reports.append(report)
+        return report

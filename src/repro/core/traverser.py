@@ -1,0 +1,202 @@
+"""Traverser interface, traversal statistics, and recorders.
+
+The *Traverser* (paper §II-A-2) fixes the order in which tree nodes are
+considered; the Visitor decides pruning and actions.  Built-in traversers:
+
+* :class:`~repro.core.topdown.PerBucketTraverser` — the standard DFS
+  ("BasicTrav" in Fig 10, and how ChaNGa walks): the full tree is traversed
+  once per target bucket.
+* :class:`~repro.core.topdown.TransposedTraverser` — ParaTreeT's
+  locality-enhancing loop transposition: each tree node is processed against
+  the whole batch of target buckets that still need it.
+* :class:`~repro.core.upanddown.UpAndDownTraverser` — top-down passes from
+  each node on the leaf-to-root path; for criteria that tighten during the
+  traversal (kNN).
+* :class:`~repro.core.dualtree.DualTreeTraverser` — node-node interactions
+  controlled by ``cell()``.
+
+All engines produce identical Visitor callback *sets* (same interactions,
+possibly different order/batching) — the equivalence tests rely on that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..trees import Tree
+from .visitor import Visitor
+
+__all__ = [
+    "TraversalStats",
+    "Recorder",
+    "InteractionLists",
+    "BucketLoadRecorder",
+    "Traverser",
+    "get_traverser",
+    "register_traverser",
+]
+
+
+@dataclass
+class TraversalStats:
+    """Counters accumulated during one traversal.
+
+    ``*_interactions`` count (source node, target bucket) pairs;
+    ``pp_interactions`` counts particle-particle pairs evaluated exactly at
+    leaves — the quantity that dominates compute cost and that the DES uses
+    to convert a traversal into simulated work.
+    """
+
+    opens: int = 0
+    node_interactions: int = 0
+    leaf_interactions: int = 0
+    pp_interactions: int = 0
+    pn_interactions: int = 0  # particle-node pairs via node() approximations
+    nodes_visited: int = 0
+    targets: int = 0
+
+    def merge(self, other: "TraversalStats") -> "TraversalStats":
+        self.opens += other.opens
+        self.node_interactions += other.node_interactions
+        self.leaf_interactions += other.leaf_interactions
+        self.pp_interactions += other.pp_interactions
+        self.pn_interactions += other.pn_interactions
+        self.nodes_visited += other.nodes_visited
+        self.targets += other.targets
+        return self
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "opens": self.opens,
+            "node_interactions": self.node_interactions,
+            "leaf_interactions": self.leaf_interactions,
+            "pp_interactions": self.pp_interactions,
+            "pn_interactions": self.pn_interactions,
+            "nodes_visited": self.nodes_visited,
+            "targets": self.targets,
+        }
+
+
+class Recorder:
+    """Observer of traversal events, in the engine's actual evaluation order.
+
+    Every callback receives arrays of source node indices and target leaf
+    indices with outer-product semantics ("each source against each
+    target").  One of the two arrays has length 1 depending on the engine's
+    batching direction — which is exactly the memory-access-order
+    information the cache simulator consumes.
+    """
+
+    def on_open(self, tree: Tree, sources: np.ndarray, targets: np.ndarray) -> None:
+        pass
+
+    def on_node(self, tree: Tree, sources: np.ndarray, targets: np.ndarray) -> None:
+        pass
+
+    def on_leaf(self, tree: Tree, sources: np.ndarray, targets: np.ndarray) -> None:
+        pass
+
+
+class InteractionLists(Recorder):
+    """Recorder that collects, per target bucket, which source nodes were
+    approximated (``node_lists``) and which leaves interacted exactly
+    (``leaf_lists``), plus every node whose open() was evaluated
+    (``visited``).  These lists drive the distributed-fetch statistics and
+    the FDPS-style bulk-interaction comparison."""
+
+    def __init__(self) -> None:
+        self.node_lists: dict[int, list[int]] = {}
+        self.leaf_lists: dict[int, list[int]] = {}
+        self.visited: dict[int, list[int]] = {}
+
+    def _extend(self, store: dict[int, list[int]], sources: np.ndarray, targets: np.ndarray) -> None:
+        src = [int(s) for s in np.atleast_1d(sources)]
+        for t in np.atleast_1d(targets):
+            store.setdefault(int(t), []).extend(src)
+
+    def on_open(self, tree: Tree, sources: np.ndarray, targets: np.ndarray) -> None:
+        self._extend(self.visited, sources, targets)
+
+    def on_node(self, tree: Tree, sources: np.ndarray, targets: np.ndarray) -> None:
+        self._extend(self.node_lists, sources, targets)
+
+    def on_leaf(self, tree: Tree, sources: np.ndarray, targets: np.ndarray) -> None:
+        self._extend(self.leaf_lists, sources, targets)
+
+
+class BucketLoadRecorder(Recorder):
+    """Tallies interaction work per target bucket — the measured load the
+    re-balancers consume (Charm++ measures this through the RTS; here the
+    traversal reports it directly)."""
+
+    def __init__(self, tree: Tree) -> None:
+        self.work = np.zeros(tree.n_nodes, dtype=np.float64)
+        self._counts = tree.pend - tree.pstart
+
+    def on_node(self, tree: Tree, sources: np.ndarray, targets: np.ndarray) -> None:
+        t = np.atleast_1d(targets)
+        self.work[t] += len(np.atleast_1d(sources)) * self._counts[t]
+
+    def on_leaf(self, tree: Tree, sources: np.ndarray, targets: np.ndarray) -> None:
+        t = np.atleast_1d(targets)
+        src_particles = int(self._counts[np.atleast_1d(sources)].sum())
+        self.work[t] += src_particles * self._counts[t]
+
+    def per_particle_load(self, tree: Tree) -> np.ndarray:
+        """Spread each bucket's work evenly over its particles -> (N,)."""
+        out = np.zeros(tree.n_particles)
+        for leaf in tree.leaf_indices:
+            s, e = int(tree.pstart[leaf]), int(tree.pend[leaf])
+            if e > s and self.work[leaf] > 0:
+                out[s:e] = self.work[leaf] / (e - s)
+        return out
+
+
+class Traverser:
+    """Base class: a traversal strategy over one tree.
+
+    Subclasses implement :meth:`traverse`.  ``targets`` defaults to all
+    leaves of the tree (every bucket computes); Partitions pass the subset
+    of buckets they own.
+    """
+
+    name: str = "abstract"
+
+    def traverse(
+        self,
+        tree: Tree,
+        visitor: Visitor,
+        targets: np.ndarray | None = None,
+        recorder: Recorder | None = None,
+    ) -> TraversalStats:
+        raise NotImplementedError
+
+    @staticmethod
+    def _resolve_targets(tree: Tree, targets: np.ndarray | None) -> np.ndarray:
+        if targets is None:
+            return tree.leaf_indices.copy()
+        targets = np.asarray(targets, dtype=np.int64)
+        if targets.size and not np.all(tree.first_child[targets] == -1):
+            raise ValueError("targets must be leaf indices")
+        return targets
+
+
+_TRAVERSERS: dict[str, type[Traverser]] = {}
+
+
+def register_traverser(name: str, cls: type[Traverser]) -> None:
+    """Register a traversal strategy (users may add e.g. priority-driven
+    traversals for ray tracing, as the paper suggests)."""
+    _TRAVERSERS[name] = cls
+
+
+def get_traverser(name: str) -> Traverser:
+    """Instantiate a registered traverser by name."""
+    try:
+        return _TRAVERSERS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown traverser {name!r}; available: {sorted(_TRAVERSERS)}"
+        ) from None

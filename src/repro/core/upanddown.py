@@ -1,0 +1,109 @@
+"""Up-and-down traversal (paper §II-A-2).
+
+"A second type of traversal, called up-and-down, does a top-down traversal
+iteratively from each node on the path from the leaf to the root.  This
+traversal is usually reserved for pruning criteria that can change during
+the traversal, as with k-nearest neighbors."
+
+Starting at the target's own leaf guarantees the nearest candidates are seen
+first, so the Visitor's pruning radius tightens before distant subtrees are
+considered.  When climbing, only the *siblings* of the already-visited child
+are descended, so no node is evaluated twice.  The Visitor's ``done()`` hook
+allows early exit once the criterion is satisfied (e.g. the kNN ball no
+longer crosses the visited region's boundary).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..trees import Tree
+from .traverser import Recorder, TraversalStats, Traverser, register_traverser
+from .util import ranges_to_indices
+from .visitor import Visitor
+
+__all__ = ["UpAndDownTraverser"]
+
+
+class UpAndDownTraverser(Traverser):
+    name = "up-and-down"
+
+    def traverse(
+        self,
+        tree: Tree,
+        visitor: Visitor,
+        targets: np.ndarray | None = None,
+        recorder: Recorder | None = None,
+    ) -> TraversalStats:
+        targets = self._resolve_targets(tree, targets)
+        stats = TraversalStats(targets=len(targets))
+        parent = tree.parent
+        first_child = tree.first_child
+        n_children = tree.n_children
+
+        for tgt in targets:
+            tgt = int(tgt)
+            current = tgt
+            prev = -1
+            while current != -1:
+                if prev == -1:
+                    roots = np.array([current], dtype=np.int64)
+                else:
+                    fc = first_child[current]
+                    roots = np.arange(fc, fc + n_children[current], dtype=np.int64)
+                    roots = roots[roots != prev]
+                if roots.size:
+                    self._descend(tree, visitor, roots, tgt, stats, recorder)
+                visitor.path_advanced(tree.node(tgt), tree.node(current))
+                if visitor.done(tree.node(tgt)):
+                    break
+                prev = current
+                current = int(parent[current])
+        return stats
+
+    @staticmethod
+    def _descend(
+        tree: Tree,
+        visitor: Visitor,
+        roots: np.ndarray,
+        tgt: int,
+        stats: TraversalStats,
+        recorder: Recorder | None,
+    ) -> None:
+        """Standard top-down pass from ``roots`` toward one target bucket."""
+        first_child = tree.first_child
+        n_children = tree.n_children
+        counts = tree.pend - tree.pstart
+        tgt_count = int(counts[tgt])
+        frontier = roots
+        while frontier.size:
+            stats.nodes_visited += int(frontier.size)
+            stats.opens += int(frontier.size)
+            if recorder is not None:
+                recorder.on_open(tree, frontier, np.array([tgt]))
+            mask = np.asarray(visitor.open_sources(tree, frontier, tgt), dtype=bool)
+            closed = frontier[~mask]
+            if closed.size:
+                stats.node_interactions += int(closed.size)
+                stats.pn_interactions += int(closed.size) * tgt_count
+                if recorder is not None:
+                    recorder.on_node(tree, closed, np.array([tgt]))
+                visitor.node_sources(tree, closed, tgt)
+            opened = frontier[mask]
+            if not opened.size:
+                return
+            leaf_mask = first_child[opened] == -1
+            leaves = opened[leaf_mask]
+            if leaves.size:
+                stats.leaf_interactions += int(leaves.size)
+                stats.pp_interactions += int(counts[leaves].sum()) * tgt_count
+                if recorder is not None:
+                    recorder.on_leaf(tree, leaves, np.array([tgt]))
+                visitor.leaf_sources(tree, leaves, tgt)
+            internal = opened[~leaf_mask]
+            frontier = ranges_to_indices(
+                first_child[internal], first_child[internal] + n_children[internal]
+            )
+
+
+register_traverser(UpAndDownTraverser.name, UpAndDownTraverser)

@@ -1,0 +1,52 @@
+"""Small vectorised helpers shared by the traversal engines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ranges_to_indices", "segment_sums", "scatter_add_rows"]
+
+
+def ranges_to_indices(starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+    """Concatenate ``[arange(s, e) for s, e in zip(starts, ends)]`` without a
+    Python loop.
+
+    This is the gather step of the transposed traversal: turning a batch of
+    bucket particle ranges into one flat index array.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    ends = np.asarray(ends, dtype=np.int64)
+    counts = ends - starts
+    if np.any(counts < 0):
+        raise ValueError("ranges_to_indices: ends must be >= starts")
+    # Drop empty ranges up front; they contribute nothing.
+    nonempty = counts > 0
+    if not np.all(nonempty):
+        starts, ends, counts = starts[nonempty], ends[nonempty], counts[nonempty]
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    # Steps are +1 everywhere except at range boundaries, where the value
+    # jumps from ends[j]-1 to starts[j+1].
+    out = np.ones(total, dtype=np.int64)
+    out[0] = starts[0]
+    boundaries = np.cumsum(counts)[:-1]
+    out[boundaries] = starts[1:] - (ends[:-1] - 1)
+    return np.cumsum(out)
+
+
+def segment_sums(values: np.ndarray, starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+    """Sum ``values`` over each half-open range ``[starts, ends)``.
+
+    Uses an exclusive prefix sum, so the cost is O(N + M) regardless of how
+    ranges overlap — exactly how tree-node moments are extracted from the
+    tree-ordered particle arrays.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    cum = np.concatenate([np.zeros((1,) + values.shape[1:]), np.cumsum(values, axis=0)])
+    return cum[np.asarray(ends)] - cum[np.asarray(starts)]
+
+
+def scatter_add_rows(target: np.ndarray, indices: np.ndarray, values: np.ndarray) -> None:
+    """``target[indices] += values`` with correct accumulation on repeats."""
+    np.add.at(target, indices, values)

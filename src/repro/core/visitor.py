@@ -1,0 +1,100 @@
+"""The *Visitor* abstraction (paper §II-A-2).
+
+A Visitor tells a traversal when to prune and what to do at each step:
+
+* ``open(source, target)``  — traverse beneath ``source``?  If not, the
+  engine calls ``node``; if ``source`` is a leaf and opened, ``leaf``.
+* ``node(source, target)``  — consume the node's summary Data (e.g. apply a
+  centroid approximation to every target particle).
+* ``leaf(source, target)``  — exact interaction with the leaf's particles.
+* ``cell(source, target)``  — dual-tree traversals only: open the *target*
+  as well (B² child interactions) or keep the target and open only the
+  source (B interactions)?
+
+The scalar methods operate on :class:`~repro.trees.SpatialNode` views, just
+like the C++ templates in the paper's Fig 7.  The batched hooks
+(``open_batch``/``node_batch``/``leaf_batch`` over many targets, and the
+``*_sources`` mirror over many sources) let vectorised engines amortise the
+interpreter cost; their default implementations fall back to the scalar
+methods, so a minimal paper-style visitor works with every engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..trees import SpatialNode, Tree
+
+__all__ = ["Visitor"]
+
+
+class Visitor:
+    """Base visitor; subclass and override at least ``open``/``node``/``leaf``.
+
+    Targets are identified by *leaf index* of the target tree; engines pass
+    batches of those indices to the batched hooks.
+    """
+
+    # -- scalar interface (paper-faithful) ---------------------------------
+    def open(self, source: SpatialNode, target: SpatialNode) -> bool:
+        raise NotImplementedError
+
+    def node(self, source: SpatialNode, target: SpatialNode) -> None:
+        raise NotImplementedError
+
+    def leaf(self, source: SpatialNode, target: SpatialNode) -> None:
+        raise NotImplementedError
+
+    def cell(self, source: SpatialNode, target: SpatialNode) -> bool:
+        """Dual-tree only; default: always open the target too."""
+        return True
+
+    def done(self, target: SpatialNode) -> bool:
+        """Early-exit hook for up-and-down traversals (e.g. kNN can stop
+        climbing when the current search ball is inside already-visited
+        space).  Default: never stop early."""
+        return False
+
+    def path_advanced(self, target: SpatialNode, path_node: SpatialNode) -> None:
+        """Up-and-down only: called after the top-down pass rooted at
+        ``path_node`` (a node on the leaf-to-root path) completes, before
+        ``done`` is consulted.  Lets the visitor track how much space has
+        been covered (kNN containment test)."""
+
+    # -- batched over targets (one source node, many target leaves) --------
+    def open_batch(self, tree: Tree, source: int, targets: np.ndarray) -> np.ndarray:
+        src = tree.node(source)
+        return np.fromiter(
+            (self.open(src, tree.node(int(t))) for t in targets),
+            dtype=bool,
+            count=len(targets),
+        )
+
+    def node_batch(self, tree: Tree, source: int, targets: np.ndarray) -> None:
+        src = tree.node(source)
+        for t in targets:
+            self.node(src, tree.node(int(t)))
+
+    def leaf_batch(self, tree: Tree, source: int, targets: np.ndarray) -> None:
+        src = tree.node(source)
+        for t in targets:
+            self.leaf(src, tree.node(int(t)))
+
+    # -- batched over sources (many source nodes, one target leaf) ---------
+    def open_sources(self, tree: Tree, sources: np.ndarray, target: int) -> np.ndarray:
+        tgt = tree.node(target)
+        return np.fromiter(
+            (self.open(tree.node(int(s)), tgt) for s in sources),
+            dtype=bool,
+            count=len(sources),
+        )
+
+    def node_sources(self, tree: Tree, sources: np.ndarray, target: int) -> None:
+        tgt = tree.node(target)
+        for s in sources:
+            self.node(tree.node(int(s)), tgt)
+
+    def leaf_sources(self, tree: Tree, sources: np.ndarray, target: int) -> None:
+        tgt = tree.node(target)
+        for s in sources:
+            self.leaf(tree.node(int(s)), tgt)

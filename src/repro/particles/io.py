@@ -1,0 +1,51 @@
+"""Particle snapshot I/O.
+
+Snapshots are stored as ``.npz`` archives with one entry per field.  This is
+the stand-in for the paper's tipsy-format cosmological inputs: the framework
+only needs *some* deterministic on-disk format so runs are reproducible and
+examples can checkpoint/restart.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .particles import ParticleSet
+
+__all__ = ["save_particles", "load_particles"]
+
+_FORMAT_VERSION = 1
+
+
+def save_particles(path: str | os.PathLike, particles: ParticleSet) -> None:
+    """Write a ParticleSet to ``path`` (npz)."""
+    payload = {f"field_{name}": particles[name] for name in particles.field_names}
+    payload["__version__"] = np.int64(_FORMAT_VERSION)
+    np.savez_compressed(path, **payload)
+
+
+def load_particles(path: str | os.PathLike) -> ParticleSet:
+    """Read a ParticleSet written by :func:`save_particles`."""
+    with np.load(path) as data:
+        version = int(data["__version__"]) if "__version__" in data else 0
+        if version > _FORMAT_VERSION:
+            raise ValueError(f"snapshot version {version} is newer than supported")
+        fields = {
+            name[len("field_"):]: data[name]
+            for name in data.files
+            if name.startswith("field_")
+        }
+    if "position" not in fields:
+        raise ValueError(f"{path}: not a particle snapshot (missing position)")
+    core = {
+        "position": fields.pop("position"),
+        "velocity": fields.pop("velocity", None),
+        "mass": fields.pop("mass", None),
+    }
+    orig_index = fields.pop("orig_index", None)
+    out = ParticleSet(**core, **fields)
+    if orig_index is not None:
+        out._fields["orig_index"] = np.asarray(orig_index, dtype=np.int64)
+    return out

@@ -1,0 +1,157 @@
+"""Tipsy binary snapshot format (the ChaNGa/Gadget-lineage input format).
+
+The paper's ``Configuration`` takes an ``input_file``; the upstream project
+reads tipsy, the standard N-body exchange format of the ChaNGa ecosystem.
+This module reads and writes the classic big-endian "standard" tipsy
+layout:
+
+header:  double time; int nbodies, ndim, nsph, ndark, nstar; int pad
+gas:     float mass, pos[3], vel[3], rho, temp, hsmooth, metals, phi
+dark:    float mass, pos[3], vel[3], eps, phi
+star:    float mass, pos[3], vel[3], metals, tform, eps, phi
+
+Gas and star extras are preserved as ParticleSet fields; a ``ptype`` field
+(0 gas, 1 dark, 2 star) tags the species.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+import numpy as np
+
+from .particles import ParticleSet
+
+__all__ = ["save_tipsy", "load_tipsy"]
+
+_HEADER = struct.Struct(">diiiiii")  # time, nbodies, ndim, nsph, ndark, nstar, pad
+
+_GAS = np.dtype(
+    [("mass", ">f4"), ("pos", ">f4", 3), ("vel", ">f4", 3), ("rho", ">f4"),
+     ("temp", ">f4"), ("hsmooth", ">f4"), ("metals", ">f4"), ("phi", ">f4")]
+)
+_DARK = np.dtype(
+    [("mass", ">f4"), ("pos", ">f4", 3), ("vel", ">f4", 3), ("eps", ">f4"),
+     ("phi", ">f4")]
+)
+_STAR = np.dtype(
+    [("mass", ">f4"), ("pos", ">f4", 3), ("vel", ">f4", 3), ("metals", ">f4"),
+     ("tform", ">f4"), ("eps", ">f4"), ("phi", ">f4")]
+)
+
+
+def save_tipsy(path: str | os.PathLike, particles: ParticleSet, time: float = 0.0) -> None:
+    """Write a ParticleSet as a standard tipsy snapshot.
+
+    Species come from the ``ptype`` field (0 gas, 1 dark, 2 star);
+    without one, everything is written as dark matter.  Optional fields
+    (``density``→rho, ``temperature``→temp, ``h``→hsmooth, ``softening``→
+    eps, ``potential``→phi) are carried when present.
+    """
+    n = len(particles)
+    ptype = particles.ptype if particles.has_field("ptype") else np.ones(n, dtype=np.int8)
+    gas_idx = np.flatnonzero(ptype == 0)
+    dark_idx = np.flatnonzero(ptype == 1)
+    star_idx = np.flatnonzero(ptype == 2)
+    if len(gas_idx) + len(dark_idx) + len(star_idx) != n:
+        raise ValueError("ptype must be 0 (gas), 1 (dark) or 2 (star) for tipsy")
+
+    def field_or_zero(name: str, idx: np.ndarray) -> np.ndarray:
+        if particles.has_field(name):
+            return particles[name][idx]
+        return np.zeros(len(idx))
+
+    with open(path, "wb") as fh:
+        fh.write(_HEADER.pack(time, n, 3, len(gas_idx), len(dark_idx), len(star_idx), 0))
+        if len(gas_idx):
+            rec = np.zeros(len(gas_idx), dtype=_GAS)
+            rec["mass"] = particles.mass[gas_idx]
+            rec["pos"] = particles.position[gas_idx]
+            rec["vel"] = particles.velocity[gas_idx]
+            rec["rho"] = field_or_zero("density", gas_idx)
+            rec["temp"] = field_or_zero("temperature", gas_idx)
+            rec["hsmooth"] = field_or_zero("h", gas_idx)
+            rec["metals"] = field_or_zero("metals", gas_idx)
+            rec["phi"] = field_or_zero("potential", gas_idx)
+            fh.write(rec.tobytes())
+        if len(dark_idx):
+            rec = np.zeros(len(dark_idx), dtype=_DARK)
+            rec["mass"] = particles.mass[dark_idx]
+            rec["pos"] = particles.position[dark_idx]
+            rec["vel"] = particles.velocity[dark_idx]
+            rec["eps"] = field_or_zero("softening", dark_idx)
+            rec["phi"] = field_or_zero("potential", dark_idx)
+            fh.write(rec.tobytes())
+        if len(star_idx):
+            rec = np.zeros(len(star_idx), dtype=_STAR)
+            rec["mass"] = particles.mass[star_idx]
+            rec["pos"] = particles.position[star_idx]
+            rec["vel"] = particles.velocity[star_idx]
+            rec["metals"] = field_or_zero("metals", star_idx)
+            rec["tform"] = field_or_zero("tform", star_idx)
+            rec["eps"] = field_or_zero("softening", star_idx)
+            rec["phi"] = field_or_zero("potential", star_idx)
+            fh.write(rec.tobytes())
+
+
+def load_tipsy(path: str | os.PathLike) -> tuple[ParticleSet, float]:
+    """Read a standard tipsy snapshot -> (ParticleSet, time).
+
+    Species order is gas, dark, star (the on-disk order); the returned set
+    carries ``ptype`` plus the per-species extras.
+    """
+    with open(path, "rb") as fh:
+        raw = fh.read(_HEADER.size)
+        if len(raw) < _HEADER.size:
+            raise ValueError(f"{path}: truncated tipsy header")
+        time, nbodies, ndim, nsph, ndark, nstar = _HEADER.unpack(raw)[:6]
+        if ndim != 3:
+            raise ValueError(f"{path}: expected 3-D tipsy file, got ndim={ndim}")
+        if nsph + ndark + nstar != nbodies:
+            raise ValueError(f"{path}: inconsistent tipsy header counts")
+        gas = np.frombuffer(fh.read(_GAS.itemsize * nsph), dtype=_GAS, count=nsph)
+        dark = np.frombuffer(fh.read(_DARK.itemsize * ndark), dtype=_DARK, count=ndark)
+        star = np.frombuffer(fh.read(_STAR.itemsize * nstar), dtype=_STAR, count=nstar)
+        if len(gas) != nsph or len(dark) != ndark or len(star) != nstar:
+            raise ValueError(f"{path}: truncated particle records")
+
+    pos = np.concatenate([
+        gas["pos"].astype(np.float64).reshape(-1, 3),
+        dark["pos"].astype(np.float64).reshape(-1, 3),
+        star["pos"].astype(np.float64).reshape(-1, 3),
+    ]) if nbodies else np.empty((0, 3))
+    vel = np.concatenate([
+        gas["vel"].astype(np.float64).reshape(-1, 3),
+        dark["vel"].astype(np.float64).reshape(-1, 3),
+        star["vel"].astype(np.float64).reshape(-1, 3),
+    ]) if nbodies else np.empty((0, 3))
+    mass = np.concatenate([
+        gas["mass"].astype(np.float64),
+        dark["mass"].astype(np.float64),
+        star["mass"].astype(np.float64),
+    ]) if nbodies else np.empty(0)
+    ptype = np.concatenate([
+        np.zeros(nsph, dtype=np.int8),
+        np.ones(ndark, dtype=np.int8),
+        np.full(nstar, 2, dtype=np.int8),
+    ]) if nbodies else np.empty(0, dtype=np.int8)
+
+    def padded(arr: np.ndarray, before: int, after: int) -> np.ndarray:
+        return np.concatenate([np.zeros(before), arr.astype(np.float64), np.zeros(after)])
+
+    extras = {
+        "ptype": ptype,
+        "density": padded(gas["rho"], 0, ndark + nstar),
+        "temperature": padded(gas["temp"], 0, ndark + nstar),
+        "h": padded(gas["hsmooth"], 0, ndark + nstar),
+        "softening": np.concatenate([
+            np.zeros(nsph), dark["eps"].astype(np.float64), star["eps"].astype(np.float64)
+        ]),
+        "potential": np.concatenate([
+            gas["phi"].astype(np.float64),
+            dark["phi"].astype(np.float64),
+            star["phi"].astype(np.float64),
+        ]),
+    }
+    return ParticleSet(pos, vel, mass, **extras), float(time)

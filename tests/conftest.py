@@ -1,0 +1,50 @@
+"""Shared fixtures: small deterministic particle sets and built trees."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.particles import (
+    ParticleSet,
+    clustered_clumps,
+    keplerian_disk,
+    plummer_sphere,
+    uniform_cube,
+)
+from repro.trees import build_tree
+
+
+@pytest.fixture(scope="session")
+def uniform_1k() -> ParticleSet:
+    return uniform_cube(1000, seed=42)
+
+
+@pytest.fixture(scope="session")
+def clustered_2k() -> ParticleSet:
+    return clustered_clumps(2000, seed=7)
+
+
+@pytest.fixture(scope="session")
+def plummer_1k() -> ParticleSet:
+    return plummer_sphere(1000, seed=3)
+
+
+@pytest.fixture(scope="session")
+def disk_1k() -> ParticleSet:
+    return keplerian_disk(1000, seed=5)
+
+
+@pytest.fixture(scope="session")
+def oct_tree(uniform_1k):
+    return build_tree(uniform_1k, tree_type="oct", bucket_size=12)
+
+
+@pytest.fixture(scope="session")
+def kd_tree(clustered_2k):
+    return build_tree(clustered_2k, tree_type="kd", bucket_size=10)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,201 @@
+"""The functional shared-memory tree cache under real threads (paper §II-B).
+
+The invariant under test is the paper's: "This wait-free model maintains the
+software cache in a valid state at all times" — readers racing concurrent
+fills never observe a half-built subtree.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cache import SharedTreeCache
+from repro.decomp import SfcDecomposer, decompose
+from repro.particles import clustered_clumps
+from repro.trees import build_tree
+
+
+@pytest.fixture(scope="module")
+def setup():
+    p = clustered_clumps(1500, seed=19)
+    tree = build_tree(p, tree_type="oct", bucket_size=16)
+    parts = SfcDecomposer().assign(tree.particles, 4)
+    dec = decompose(tree, parts, n_subtrees=8)
+    node_proc = dec.node_process()
+    return tree, dec, node_proc
+
+
+def _collect_placeholders(cache):
+    out = []
+    stack = [(None, None, cache.root)]
+    while stack:
+        parent, slot, entry = stack.pop()
+        if entry.is_placeholder:
+            out.append((parent, slot))
+        else:
+            for i, child in enumerate(entry.children):
+                stack.append((entry, i, child))
+    return out
+
+
+class TestBootstrap:
+    def test_local_subtrees_materialised(self, setup):
+        tree, dec, node_proc = setup
+        cache = SharedTreeCache(tree, node_proc, process=0)
+        cache.validate()
+        # local leaves are reachable without any fill
+        local_leaves = [
+            int(l) for l in tree.leaf_indices if node_proc[l] in (-1, 0)
+        ]
+        for leaf in local_leaves[:10]:
+            assert cache.find(int(tree.key[leaf])) is not None
+
+    def test_remote_data_is_placeholder(self, setup):
+        tree, dec, node_proc = setup
+        cache = SharedTreeCache(tree, node_proc, process=0, shared_branch_levels=2)
+        placeholders = _collect_placeholders(cache)
+        assert placeholders, "a multi-process decomposition must have remote data"
+        for parent, slot in placeholders:
+            entry = parent.children[slot]
+            assert node_proc[entry.node_index] not in (-1, 0)
+
+    def test_shared_branch_replicated(self, setup):
+        tree, dec, node_proc = setup
+        cache = SharedTreeCache(tree, node_proc, process=1, shared_branch_levels=3)
+        # every node above level 3 is present (not a placeholder)
+        stack = [cache.root]
+        seen_levels = []
+        while stack:
+            e = stack.pop()
+            if not e.is_placeholder:
+                seen_levels.append(int(tree.level[e.node_index]))
+                stack.extend(e.children)
+        assert min(seen_levels) == 0
+
+    def test_payload_fn(self, setup):
+        tree, dec, node_proc = setup
+        cache = SharedTreeCache(tree, node_proc, process=0, payload_fn=lambda i: i * 2)
+        assert cache.root.payload == 0  # root index 0 -> payload 0
+        stack = [cache.root]
+        while stack:
+            e = stack.pop()
+            if not e.is_placeholder:
+                assert e.payload == e.node_index * 2
+                stack.extend(e.children)
+
+
+class TestFillProtocol:
+    def test_fill_materialises_and_dedupes(self, setup):
+        tree, dec, node_proc = setup
+        cache = SharedTreeCache(tree, node_proc, process=0, nodes_per_request=2)
+        placeholders = _collect_placeholders(cache)
+        parent, slot = placeholders[0]
+        resumed = []
+        first = cache.request_fill(parent, slot, on_resume=lambda: resumed.append(1))
+        assert first
+        assert resumed == [1]
+        entry = parent.children[slot]
+        assert not entry.is_placeholder
+        cache.validate()
+        # second request for the same slot is a no-op hit
+        again = cache.request_fill(parent, slot, on_resume=lambda: resumed.append(2))
+        assert not again
+        assert resumed == [1, 2]
+        assert cache.requests_sent == 1
+
+    def test_fill_ships_limited_depth(self, setup):
+        tree, dec, node_proc = setup
+        cache = SharedTreeCache(tree, node_proc, process=0, nodes_per_request=1)
+        placeholders = _collect_placeholders(cache)
+        parent, slot = placeholders[0]
+        cache.request_fill(parent, slot)
+        entry = parent.children[slot]
+        # the fill brings the node + 1 level; grandchildren are placeholders
+        for child in entry.children:
+            for grand in child.children:
+                assert grand.is_placeholder or node_proc[grand.node_index] in (-1, 0)
+
+    def test_fill_everything_completes_tree(self, setup):
+        tree, dec, node_proc = setup
+        cache = SharedTreeCache(tree, node_proc, process=2, nodes_per_request=3)
+        for _ in range(10_000):
+            placeholders = _collect_placeholders(cache)
+            if not placeholders:
+                break
+            cache.request_fill(*placeholders[0])
+        cache.validate()
+        assert not _collect_placeholders(cache)
+        # every leaf of the global tree is now reachable
+        for leaf in tree.leaf_indices[::17]:
+            assert cache.find(int(tree.key[leaf])) is not None
+
+
+class TestThreadSafety:
+    def test_concurrent_fills_and_reads_keep_validity(self, setup):
+        """Hammer the cache with racing reader and filler threads; the
+        validity invariant must hold at every observation point."""
+        tree, dec, node_proc = setup
+        cache = SharedTreeCache(tree, node_proc, process=0, nodes_per_request=2)
+        errors = []
+        stop = threading.Event()
+
+        def filler():
+            try:
+                while not stop.is_set():
+                    ph = _collect_placeholders(cache)
+                    if not ph:
+                        return
+                    for parent, slot in ph[:4]:
+                        cache.request_fill(parent, slot)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    cache.validate()
+                    # walk: every reachable non-placeholder must be wired
+                    stack = [cache.root]
+                    while stack:
+                        e = stack.pop()
+                        if not e.is_placeholder:
+                            assert isinstance(e.children, tuple)
+                            stack.extend(e.children)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=filler) for _ in range(4)] + [
+            threading.Thread(target=reader) for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads[:4]:
+            t.join(timeout=30)
+        stop.set()
+        for t in threads:
+            t.join(timeout=10)
+        assert not errors
+        cache.validate()
+        assert not _collect_placeholders(cache)
+
+    def test_request_flag_claimed_once_under_contention(self, setup):
+        tree, dec, node_proc = setup
+        cache = SharedTreeCache(tree, node_proc, process=0)
+        placeholders = _collect_placeholders(cache)
+        parent, slot = placeholders[0]
+        placeholder = parent.children[slot]
+        wins = []
+        barrier = threading.Barrier(8)
+
+        def claim():
+            barrier.wait()
+            if placeholder.try_claim_request():
+                wins.append(1)
+
+        threads = [threading.Thread(target=claim) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(wins) == 1

@@ -1,0 +1,52 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_gravity(self, capsys):
+        assert main(["gravity", "--n", "1500", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "traversal" in out and "error vs direct sum" in out
+
+    def test_gravity_quadrupole_per_bucket(self, capsys):
+        assert main([
+            "gravity", "--n", "800", "--traverser", "per-bucket", "--quadrupole"
+        ]) == 0
+        assert "pp_interactions" in capsys.readouterr().out
+
+    def test_sph_with_baseline(self, capsys):
+        assert main(["sph", "--n", "1200", "--k", "16", "--baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "kNN density" in out and "gadget-style" in out
+
+    def test_knn(self, capsys):
+        assert main(["knn", "--n", "1500", "--k", "4"]) == 0
+        assert "brute force would be" in capsys.readouterr().out
+
+    def test_disk(self, capsys):
+        assert main(["disk", "--n", "500", "--steps", "3"]) == 0
+        assert "collisions recorded" in capsys.readouterr().out
+
+    def test_correlation(self, capsys):
+        assert main(["correlation", "--n", "600", "--bins", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "xi" in out and out.count("\n") >= 5
+
+    def test_scale(self, capsys):
+        assert main([
+            "scale", "--n", "3000", "--partitions", "32",
+            "--cores", "24", "48", "--cache", "XWrite",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "24 cores" in out and "48 cores" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["teleport"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,82 @@
+"""Two-point correlation / dual-tree pair counting."""
+
+import numpy as np
+import pytest
+
+from repro.apps.correlation import (
+    PairCountVisitor,
+    brute_force_pair_counts,
+    pair_counts,
+    two_point_correlation,
+)
+from repro.particles import ParticleSet, clustered_clumps, uniform_cube
+from repro.trees import build_tree
+
+
+class TestPairCounts:
+    @pytest.mark.parametrize("dist,seed", [("uniform", 1), ("clustered", 2)])
+    def test_matches_brute_force(self, dist, seed):
+        gen = uniform_cube if dist == "uniform" else clustered_clumps
+        p = gen(700, seed=seed)
+        edges = np.array([0.01, 0.03, 0.08, 0.2, 0.5, 1.2])
+        counts, _, _ = pair_counts(p, edges)
+        assert np.array_equal(counts, brute_force_pair_counts(p.position, edges))
+
+    def test_total_bounded_by_all_pairs(self):
+        p = uniform_cube(300, seed=3)
+        edges = np.array([0.0, 10.0])  # everything lands in one bin
+        counts, _, _ = pair_counts(p, edges)
+        assert counts[0] == 300 * 299  # ordered pairs, self excluded
+
+    def test_wholesale_pruning_happens(self):
+        p = uniform_cube(1000, seed=4)
+        edges = np.array([0.0, 2.0])  # one huge bin: everything prunable
+        counts, visitor, stats = pair_counts(p, edges)
+        assert counts[0] == 1000 * 999
+        assert visitor.wholesale_pairs > 0.9 * counts[0]
+        # the dual tree should have touched far fewer than N^2 pairs exactly
+        assert stats.pp_interactions < 0.2 * 1000 * 1000
+
+    def test_out_of_range_pairs_dropped(self):
+        pos = np.array([[0.0, 0, 0], [0.5, 0, 0], [10.0, 0, 0]])
+        p = ParticleSet(pos)
+        edges = np.array([0.1, 1.0])
+        counts, _, _ = pair_counts(p, edges, bucket_size=1)
+        assert counts[0] == 2  # only the (0,1)/(1,0) pair is in range
+
+    def test_prebuilt_tree_accepted(self):
+        p = uniform_cube(200, seed=5)
+        tree = build_tree(p, tree_type="oct", bucket_size=8)
+        edges = np.array([0.05, 0.2, 0.8])
+        counts, _, _ = pair_counts(tree, edges)
+        assert np.array_equal(counts, brute_force_pair_counts(tree.particles.position, edges))
+
+    @pytest.mark.parametrize(
+        "edges",
+        [np.array([0.5]), np.array([0.5, 0.4]), np.array([-0.1, 0.5])],
+    )
+    def test_edge_validation(self, edges):
+        p = uniform_cube(50, seed=6)
+        tree = build_tree(p, tree_type="kd", bucket_size=8)
+        with pytest.raises(ValueError):
+            PairCountVisitor(tree, edges)
+
+
+class TestCorrelation:
+    def test_clustered_has_positive_small_scale_xi(self):
+        res = two_point_correlation(
+            clustered_clumps(1200, seed=7),
+            np.array([0.01, 0.05, 0.15, 0.5, 1.0]),
+            seed=1,
+        )
+        assert res.xi[0] > 5.0        # strong clustering at small separations
+        assert abs(res.xi[-1]) < 1.0  # decorrelates at large separations
+        assert res.dd.sum() > 0 and res.rr.sum() > 0
+
+    def test_uniform_xi_near_zero(self):
+        res = two_point_correlation(
+            uniform_cube(1200, seed=8),
+            np.array([0.05, 0.15, 0.4, 0.9]),
+            seed=2,
+        )
+        assert np.nanmax(np.abs(res.xi)) < 0.5

@@ -1,0 +1,159 @@
+"""Configuration and Driver pipeline tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps.gravity import GravityDriver, compute_gravity
+from repro.core import Configuration, Driver
+from repro.particles import clustered_clumps, save_particles, uniform_cube
+from repro.trees import TreeType
+
+
+class TestConfiguration:
+    def test_defaults(self):
+        cfg = Configuration()
+        assert cfg.tree_type == TreeType.OCT
+        assert cfg.decomp_type == "sfc"
+        assert cfg.traverser == "transposed"
+
+    def test_string_tree_type_coerced(self):
+        assert Configuration(tree_type="kd").tree_type == TreeType.KD
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_iterations": -1},
+            {"bucket_size": 0},
+            {"num_partitions": 0},
+            {"num_subtrees": 0},
+            {"nodes_per_request": 0},
+            {"shared_branch_levels": -1},
+            {"tree_type": "nonexistent"},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            Configuration(**kwargs)
+
+    def test_tree_build_config(self):
+        cfg = Configuration(tree_type="longest", bucket_size=7)
+        tbc = cfg.tree_build_config()
+        assert tbc.tree_type == TreeType.LONGEST_DIM
+        assert tbc.bucket_size == 7
+
+
+class TestDriverPipeline:
+    def make_driver(self, **cfg_kwargs):
+        class Main(GravityDriver):
+            def create_particles(self, config):
+                return clustered_clumps(1200, seed=13)
+
+        defaults = dict(
+            num_iterations=2,
+            tree_type="oct",
+            decomp_type="sfc",
+            num_partitions=8,
+            num_subtrees=8,
+        )
+        defaults.update(cfg_kwargs)
+        return Main(Configuration(**defaults), theta=0.7, softening=1e-3)
+
+    def test_run_produces_reports(self):
+        d = self.make_driver()
+        reports = d.run()
+        assert len(reports) == 2
+        for r in reports:
+            assert r.stats.pp_interactions > 0
+            assert r.partition_loads.sum() == 1200
+            assert r.imbalance >= 1.0
+
+    def test_accelerations_match_one_shot_solver(self):
+        d = self.make_driver(num_iterations=1)
+        d.run()
+        # driver's tree-order accelerations, scattered to input order, must
+        # equal the standalone solver on the same particles
+        acc_driver = d.tree.particles.scatter_to_input_order(d.accelerations)
+        res = compute_gravity(
+            clustered_clumps(1200, seed=13), theta=0.7, softening=1e-3
+        )
+        assert np.allclose(acc_driver, res.accel, rtol=1e-9, atol=1e-14)
+
+    def test_input_file_loading(self, tmp_path):
+        path = tmp_path / "in.npz"
+        save_particles(path, uniform_cube(300, seed=1))
+
+        class Main(GravityDriver):
+            pass
+
+        d = Main(Configuration(input_file=str(path), num_iterations=1,
+                               num_partitions=4, num_subtrees=4))
+        d.run()
+        assert d.tree.n_particles == 300
+
+    def test_create_particles_required(self):
+        class Bare(Driver):
+            def traversal(self, iteration):
+                pass
+
+        with pytest.raises(NotImplementedError):
+            Bare(Configuration(num_iterations=1)).run()
+
+    def test_load_balancing_reduces_measured_imbalance(self):
+        """After an SFC load rebalance, the *work* per partition is more
+        even than count-based decomposition on clustered data."""
+        from repro.core.traverser import BucketLoadRecorder
+
+        d = self.make_driver(num_iterations=3, lb_period=1, num_partitions=8)
+        d.run()
+        assert any(r.rebalanced for r in d.reports)
+        # Measure work imbalance of first (count-based) vs last (load-based)
+        # assignment via a fresh traversal-load recording.
+        rec = BucketLoadRecorder(d.tree)
+        from repro.apps.gravity import GravityVisitor, compute_centroid_arrays
+        from repro.core import get_traverser
+
+        visitor = GravityVisitor(d.tree, compute_centroid_arrays(d.tree, theta=0.7))
+        get_traverser("transposed").traverse(d.tree, visitor, None, rec)
+        per_particle = rec.per_particle_load(d.tree)
+        loads = np.zeros(8)
+        np.add.at(loads, d.decomposition.particle_partition, per_particle)
+        counts_based = np.zeros(8)
+        from repro.decomp import SfcDecomposer
+
+        base = SfcDecomposer().assign(d.tree.particles, 8)
+        np.add.at(counts_based, base, per_particle)
+        from repro.decomp import imbalance
+
+        assert imbalance(loads) <= imbalance(counts_based) + 0.05
+
+    def test_decomp_types_run(self):
+        for decomp in ("sfc", "oct", "longest"):
+            d = self.make_driver(num_iterations=1, decomp_type=decomp)
+            d.run()
+            assert d.decomposition is not None
+
+    def test_tree_types_run(self):
+        for tt in ("oct", "kd", "longest"):
+            d = self.make_driver(num_iterations=1, tree_type=tt)
+            d.run()
+            assert d.tree.tree_type in ("oct", "kd", "longest")
+
+    def test_basic_traverser_config(self):
+        d = self.make_driver(num_iterations=1, traverser="per-bucket")
+        d.run()
+        assert d.reports[0].stats.pp_interactions > 0
+
+    def test_evolution_changes_positions(self):
+        class Main(GravityDriver):
+            def create_particles(self, config):
+                return clustered_clumps(300, seed=14)
+
+        cfg = Configuration(num_iterations=2, num_partitions=4, num_subtrees=4)
+        d = Main(cfg, theta=0.7, softening=1e-2, dt=1e-3)
+        before = None
+        d.configure(d.config)
+        d.particles = d.create_particles(d.config)
+        before = np.sort(d.particles.position[:, 0]).copy()
+        d.run()
+        after = np.sort(d.particles.position[:, 0])
+        assert not np.allclose(before, after)

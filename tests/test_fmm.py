@@ -1,0 +1,146 @@
+"""Fast Multipole Method: derivative tensors, accuracy, mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.apps.gravity import (
+    acceleration_error,
+    compute_fmm_gravity,
+    compute_gravity,
+    derivative_tensors,
+    direct_accelerations,
+)
+from repro.apps.gravity.fmm import FMMVisitor, _compute_multipoles
+from repro.particles import clustered_clumps, plummer_sphere
+from repro.trees import build_tree
+
+
+class TestDerivativeTensors:
+    def setup_method(self):
+        self.R = np.array([1.3, -0.7, 2.1])
+        self.g = lambda x: 1.0 / np.linalg.norm(x)
+
+    def test_first_derivative(self):
+        _, g1, _, _ = derivative_tensors(self.R)
+        eps = 1e-6
+        for i in range(3):
+            e = eps * np.eye(3)[i]
+            fd = (self.g(self.R + e) - self.g(self.R - e)) / (2 * eps)
+            assert g1[i] == pytest.approx(fd, abs=1e-8)
+
+    def test_second_derivative(self):
+        _, _, g2, _ = derivative_tensors(self.R)
+        eps = 1e-4
+        for i in range(3):
+            for j in range(3):
+                ei, ej = eps * np.eye(3)[i], eps * np.eye(3)[j]
+                fd = (
+                    self.g(self.R + ei + ej) - self.g(self.R + ei - ej)
+                    - self.g(self.R - ei + ej) + self.g(self.R - ei - ej)
+                ) / (4 * eps * eps)
+                assert g2[i, j] == pytest.approx(fd, abs=1e-5)
+
+    def test_third_derivative(self):
+        _, _, _, g3 = derivative_tensors(self.R)
+        eps = 1e-3
+
+        def g2_num(x):
+            _, _, g2, _ = derivative_tensors(x)
+            return g2
+
+        for k in range(3):
+            e = eps * np.eye(3)[k]
+            fd = (g2_num(self.R + e) - g2_num(self.R - e)) / (2 * eps)
+            assert np.allclose(g3[:, :, k], fd, atol=1e-4)
+
+    def test_symmetry(self):
+        _, _, g2, g3 = derivative_tensors(self.R)
+        assert np.allclose(g2, g2.T)
+        for perm in [(0, 2, 1), (1, 0, 2), (2, 1, 0)]:
+            assert np.allclose(g3, np.transpose(g3, perm))
+
+    def test_laplacian_is_zero(self):
+        """1/r is harmonic away from the origin: tr(H) = 0."""
+        _, _, g2, g3 = derivative_tensors(self.R)
+        assert abs(np.trace(g2)) < 1e-12
+        assert np.allclose(np.einsum("iik->k", g3), 0.0, atol=1e-12)
+
+    def test_singular_origin(self):
+        with pytest.raises(ValueError):
+            derivative_tensors(np.zeros(3))
+
+
+class TestFMMAccuracy:
+    @pytest.fixture(scope="class")
+    def particles(self):
+        return plummer_sphere(2500, seed=3)
+
+    @pytest.fixture(scope="class")
+    def exact(self, particles):
+        return direct_accelerations(particles, softening=1e-3)
+
+    def test_matches_direct_sum(self, particles, exact):
+        res = compute_fmm_gravity(particles, theta=0.4, softening=1e-3)
+        err = acceleration_error(res.accel, exact)
+        assert err["mean"] < 2e-3
+        assert err["p99"] < 2e-2
+
+    def test_accuracy_improves_with_smaller_theta(self, particles, exact):
+        loose = compute_fmm_gravity(particles, theta=0.7, softening=1e-3)
+        tight = compute_fmm_gravity(particles, theta=0.35, softening=1e-3)
+        e_loose = acceleration_error(loose.accel, exact)["mean"]
+        e_tight = acceleration_error(tight.accel, exact)["mean"]
+        assert e_tight < e_loose
+
+    def test_comparable_to_barnes_hut(self, particles, exact):
+        """Same physics, different expansion bookkeeping: both land in the
+        sub-percent regime."""
+        fmm = compute_fmm_gravity(particles, theta=0.4, softening=1e-3)
+        bh = compute_gravity(particles, theta=0.6, softening=1e-3)
+        assert acceleration_error(fmm.accel, exact)["mean"] < 5e-3
+        assert acceleration_error(bh.accel, exact)["mean"] < 5e-3
+
+    def test_momentum_conservation(self, particles):
+        """M2L + L2L + P2P keep Newton's third law to truncation order."""
+        res = compute_fmm_gravity(particles, theta=0.4, softening=1e-3)
+        m = particles.mass
+        net = (m[:, None] * res.accel).sum(axis=0)
+        scale = np.abs(m[:, None] * res.accel).sum(axis=0)
+        assert np.all(np.abs(net) < 5e-3 * scale)
+
+
+class TestFMMMechanics:
+    def test_m2l_and_p2p_both_happen(self):
+        p = clustered_clumps(1200, seed=4)
+        res = compute_fmm_gravity(p, theta=0.5)
+        assert res.m2l_count > 0
+        assert res.p2p_pairs > 0
+        # P2P must be a small fraction of all-pairs (the method's point)
+        assert res.p2p_pairs < 0.9 * len(p) ** 2
+
+    def test_theta_validation(self):
+        p = plummer_sphere(100, seed=5)
+        tree = build_tree(p, tree_type="oct", bucket_size=16)
+        mp = _compute_multipoles(tree)
+        with pytest.raises(ValueError):
+            FMMVisitor(tree, mp, theta=1.5)
+
+    def test_multipoles_match_centroid_path(self):
+        p = plummer_sphere(500, seed=6)
+        tree = build_tree(p, tree_type="oct", bucket_size=16)
+        mp = _compute_multipoles(tree)
+        from repro.apps.gravity import compute_centroid_arrays
+
+        arrays = compute_centroid_arrays(tree, with_quadrupole=True)
+        assert np.allclose(mp.mass, arrays.mass)
+        assert np.allclose(mp.center, arrays.centroid, atol=1e-12)
+        # raw central second moment vs traceless quadrupole: Q = 3C - tr(C) I
+        cov = mp.quad
+        traceless = 3 * cov - np.trace(cov, axis1=1, axis2=2)[:, None, None] * np.eye(3)
+        assert np.allclose(traceless, arrays.quad, atol=1e-6)
+
+    def test_accepts_prebuilt_tree(self):
+        p = plummer_sphere(300, seed=7)
+        tree = build_tree(p, tree_type="kd", bucket_size=16)
+        res = compute_fmm_gravity(tree, theta=0.5)
+        assert res.tree is tree

@@ -1,0 +1,118 @@
+"""kNN and ball-search correctness against brute force."""
+
+import numpy as np
+import pytest
+
+from repro.apps.knn import (
+    BallSearchVisitor,
+    KNNVisitor,
+    ball_search,
+    brute_force_ball,
+    brute_force_knn,
+    knn_search,
+)
+from repro.particles import ParticleSet, clustered_clumps, uniform_cube
+from repro.trees import build_tree
+
+
+@pytest.fixture(scope="module", params=["oct", "kd"])
+def tree(request):
+    return build_tree(clustered_clumps(900, seed=8), tree_type=request.param, bucket_size=10)
+
+
+class TestKNN:
+    def test_matches_brute_force_distances(self, tree):
+        res = knn_search(tree, k=6)
+        bf_d, _ = brute_force_knn(tree.particles.position, 6)
+        assert np.allclose(res.dist_sq, bf_d)
+
+    def test_indices_valid_under_ties(self, tree):
+        """Indices must reproduce their own distances."""
+        res = knn_search(tree, k=6)
+        pos = tree.particles.position
+        for i in range(0, tree.n_particles, 97):
+            d = np.linalg.norm(pos[res.index[i]] - pos[i], axis=1) ** 2
+            assert np.allclose(np.sort(d), res.dist_sq[i])
+
+    def test_rows_sorted(self, tree):
+        res = knn_search(tree, k=5)
+        assert np.all(np.diff(res.dist_sq, axis=1) >= 0)
+
+    def test_excludes_self(self, tree):
+        res = knn_search(tree, k=4)
+        rows = np.arange(tree.n_particles)[:, None]
+        assert not np.any(res.index == rows)
+
+    def test_k_bounds(self, tree):
+        with pytest.raises(ValueError):
+            KNNVisitor(tree, 0)
+        with pytest.raises(ValueError):
+            KNNVisitor(tree, tree.n_particles)
+
+    def test_k1_is_nearest_neighbor(self, tree):
+        res = knn_search(tree, k=1)
+        bf_d, _ = brute_force_knn(tree.particles.position, 1)
+        assert np.allclose(res.dist_sq, bf_d)
+
+    def test_coincident_particles(self):
+        """Exact duplicates are legitimate zero-distance neighbours."""
+        pos = np.vstack([np.zeros((3, 3)), np.ones((3, 3))])
+        tree = build_tree(ParticleSet(pos), tree_type="kd", bucket_size=2)
+        res = knn_search(tree, k=2)
+        assert np.allclose(res.dist_sq[:, 0], 0.0)
+
+    def test_pruning_is_effective(self):
+        """The up-and-down kNN must prune: far fewer pp interactions than
+        the all-pairs N²."""
+        p = uniform_cube(2000, seed=9)
+        t = build_tree(p, tree_type="kd", bucket_size=16)
+        res = knn_search(t, k=8)
+        assert res.stats.pp_interactions < 0.25 * 2000 * 2000
+
+    def test_targets_subset(self, tree):
+        leaves = tree.leaf_indices[:3]
+        res = knn_search(tree, k=4, targets=leaves)
+        bf_d, _ = brute_force_knn(tree.particles.position, 4)
+        for leaf in leaves:
+            s, e = tree.pstart[leaf], tree.pend[leaf]
+            assert np.allclose(res.dist_sq[s:e], bf_d[s:e])
+
+
+class TestBallSearch:
+    def test_matches_brute_force(self, tree):
+        lists, _ = ball_search(tree, 0.11)
+        expect = brute_force_ball(tree.particles.position, 0.11)
+        for got, want in zip(lists, expect):
+            assert set(got.tolist()) == set(want.tolist())
+
+    def test_per_particle_radii(self, tree):
+        rng = np.random.default_rng(0)
+        radii = rng.uniform(0.02, 0.2, tree.n_particles)
+        lists, _ = ball_search(tree, radii)
+        expect = brute_force_ball(tree.particles.position, radii)
+        for got, want in zip(lists, expect):
+            assert set(got.tolist()) == set(want.tolist())
+
+    def test_include_self(self, tree):
+        lists, _ = ball_search(tree, 0.05, include_self=True)
+        for i, nbrs in enumerate(lists[:50]):
+            assert i in nbrs
+
+    def test_zero_radius_finds_only_coincident(self, tree):
+        lists, _ = ball_search(tree, 0.0)
+        # random clustered data: no exact duplicates
+        assert all(len(l) == 0 for l in lists)
+
+    def test_radii_validation(self, tree):
+        with pytest.raises(ValueError):
+            BallSearchVisitor(tree, -np.ones(tree.n_particles))
+        with pytest.raises(ValueError):
+            BallSearchVisitor(tree, np.ones(3))
+
+    def test_symmetry(self, tree):
+        """Uniform radius: i in N(j) iff j in N(i)."""
+        lists, _ = ball_search(tree, 0.09)
+        sets = [set(l.tolist()) for l in lists]
+        for i in range(0, tree.n_particles, 53):
+            for j in sets[i]:
+                assert i in sets[j]

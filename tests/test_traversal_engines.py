@@ -1,0 +1,237 @@
+"""Traversal engines: cross-engine equivalence, stats, recorders, and the
+scalar-visitor fallback path."""
+
+import numpy as np
+import pytest
+
+from repro.apps.gravity import (
+    GravityVisitor,
+    compute_centroid_arrays,
+    compute_gravity,
+    direct_accelerations,
+)
+from repro.core import (
+    InteractionLists,
+    Recorder,
+    TraversalStats,
+    Visitor,
+    get_traverser,
+    register_traverser,
+)
+from repro.core.traverser import BucketLoadRecorder, Traverser
+from repro.particles import plummer_sphere, uniform_cube
+from repro.trees import build_tree
+
+
+@pytest.fixture(scope="module")
+def particles():
+    return plummer_sphere(800, seed=2)
+
+
+@pytest.fixture(scope="module")
+def tree(particles):
+    return build_tree(particles, tree_type="oct", bucket_size=12)
+
+
+class TestEngineEquivalence:
+    def test_same_interaction_counts(self, tree):
+        """Both top-down engines evaluate exactly the same interaction set."""
+        stats = {}
+        for name in ("transposed", "per-bucket"):
+            arrays = compute_centroid_arrays(tree, theta=0.6)
+            visitor = GravityVisitor(tree, arrays)
+            stats[name] = get_traverser(name).traverse(tree, visitor)
+        a, b = stats["transposed"], stats["per-bucket"]
+        assert a.opens == b.opens
+        assert a.node_interactions == b.node_interactions
+        assert a.leaf_interactions == b.leaf_interactions
+        assert a.pp_interactions == b.pp_interactions
+        assert a.pn_interactions == b.pn_interactions
+        # ...but the transposed engine touches each node only once
+        assert a.nodes_visited < b.nodes_visited
+
+    def test_same_accelerations(self, particles):
+        res_t = compute_gravity(particles, theta=0.6, traverser="transposed")
+        res_b = compute_gravity(particles, theta=0.6, traverser="per-bucket")
+        assert np.allclose(res_t.accel, res_b.accel, rtol=1e-9, atol=1e-12)
+
+    def test_basic_alias(self, particles):
+        res = compute_gravity(particles, theta=0.6, traverser="basic")
+        res_b = compute_gravity(particles, theta=0.6, traverser="per-bucket")
+        assert np.allclose(res.accel, res_b.accel)
+
+    def test_matches_direct_sum(self, particles):
+        res = compute_gravity(particles, theta=0.4, softening=1e-3)
+        exact = direct_accelerations(particles, softening=1e-3)
+        rel = np.linalg.norm(res.accel - exact, axis=1) / np.linalg.norm(exact, axis=1)
+        assert np.median(rel) < 5e-3
+        assert rel.mean() < 1e-2
+
+    def test_accuracy_improves_with_theta(self, particles):
+        exact = direct_accelerations(particles, softening=1e-3)
+
+        def err(theta):
+            res = compute_gravity(particles, theta=theta, softening=1e-3)
+            return np.mean(
+                np.linalg.norm(res.accel - exact, axis=1) / np.linalg.norm(exact, axis=1)
+            )
+
+        assert err(0.3) < err(0.9)
+
+    def test_quadrupole_more_accurate(self, particles):
+        exact = direct_accelerations(particles, softening=1e-3)
+        mono = compute_gravity(particles, theta=0.7, softening=1e-3)
+        quad = compute_gravity(particles, theta=0.7, softening=1e-3, with_quadrupole=True)
+
+        def err(res):
+            return np.mean(
+                np.linalg.norm(res.accel - exact, axis=1) / np.linalg.norm(exact, axis=1)
+            )
+
+        assert err(quad) < 0.5 * err(mono)
+
+
+class TestTargetSubsets:
+    def test_partial_targets(self, tree):
+        """Traversing half the buckets computes exactly those buckets."""
+        arrays = compute_centroid_arrays(tree, theta=0.6)
+        leaves = tree.leaf_indices
+        half = leaves[: len(leaves) // 2]
+        visitor = GravityVisitor(tree, arrays)
+        get_traverser("transposed").traverse(tree, visitor, half)
+        full_visitor = GravityVisitor(tree, arrays)
+        get_traverser("transposed").traverse(tree, full_visitor)
+        for leaf in half:
+            s, e = tree.pstart[leaf], tree.pend[leaf]
+            assert np.allclose(visitor.accel[s:e], full_visitor.accel[s:e])
+        untouched = leaves[len(leaves) // 2 :]
+        for leaf in untouched[:5]:
+            s, e = tree.pstart[leaf], tree.pend[leaf]
+            assert np.all(visitor.accel[s:e] == 0.0)
+
+    def test_non_leaf_target_rejected(self, tree):
+        visitor = GravityVisitor(tree, compute_centroid_arrays(tree))
+        with pytest.raises(ValueError):
+            get_traverser("transposed").traverse(tree, visitor, np.array([0]))
+
+    def test_empty_targets(self, tree):
+        visitor = GravityVisitor(tree, compute_centroid_arrays(tree))
+        stats = get_traverser("transposed").traverse(
+            tree, visitor, np.empty(0, dtype=np.int64)
+        )
+        assert stats.opens == 0
+
+
+class TestScalarFallback:
+    def test_scalar_visitor_works_on_all_engines(self):
+        """A paper-style visitor with only open/node/leaf runs unchanged."""
+        particles = uniform_cube(150, seed=3)
+        tree = build_tree(particles, tree_type="kd", bucket_size=6)
+        arrays = compute_centroid_arrays(tree, theta=0.6)
+
+        class ScalarGravity(Visitor):
+            def __init__(self):
+                self.accel = np.zeros((tree.n_particles, 3))
+
+            def open(self, source, target):
+                c = arrays.centroid[source.index]
+                rsq = arrays.open_radius_sq[source.index]
+                return bool(target.box.intersects_sphere(c, np.sqrt(rsq)))
+
+            def node(self, source, target):
+                from repro.apps.gravity import point_mass_accel
+
+                idx = np.arange(tree.pstart[target.index], tree.pend[target.index])
+                self.accel[idx] += point_mass_accel(
+                    tree.particles.position[idx],
+                    arrays.centroid[source.index],
+                    float(arrays.mass[source.index]),
+                )
+
+            def leaf(self, source, target):
+                from repro.apps.gravity import pairwise_accel
+
+                idx = np.arange(tree.pstart[target.index], tree.pend[target.index])
+                s, e = tree.pstart[source.index], tree.pend[source.index]
+                self.accel[idx] += pairwise_accel(
+                    tree.particles.position[idx],
+                    tree.particles.position[s:e],
+                    tree.particles.mass[s:e],
+                )
+
+        results = {}
+        for engine in ("transposed", "per-bucket"):
+            v = ScalarGravity()
+            get_traverser(engine).traverse(tree, v)
+            results[engine] = v.accel
+        assert np.allclose(results["transposed"], results["per-bucket"], rtol=1e-9)
+        # and matches the fully-batched visitor
+        fast = GravityVisitor(tree, arrays)
+        get_traverser("transposed").traverse(tree, fast)
+        assert np.allclose(results["transposed"], fast.accel, rtol=1e-9)
+
+
+class TestRecorders:
+    def test_interaction_lists_complete(self, tree):
+        arrays = compute_centroid_arrays(tree, theta=0.6)
+        visitor = GravityVisitor(tree, arrays)
+        lists = InteractionLists()
+        stats = get_traverser("transposed").traverse(tree, visitor, None, lists)
+        n_node = sum(len(v) for v in lists.node_lists.values())
+        n_leaf = sum(len(v) for v in lists.leaf_lists.values())
+        n_open = sum(len(v) for v in lists.visited.values())
+        assert n_node == stats.node_interactions
+        assert n_leaf == stats.leaf_interactions
+        assert n_open == stats.opens
+        assert set(lists.visited) <= set(tree.leaf_indices.tolist())
+
+    def test_lists_identical_across_engines(self, tree):
+        arrays = compute_centroid_arrays(tree, theta=0.6)
+        per_engine = {}
+        for engine in ("transposed", "per-bucket"):
+            lists = InteractionLists()
+            get_traverser(engine).traverse(tree, GravityVisitor(tree, arrays), None, lists)
+            per_engine[engine] = lists
+        a, b = per_engine["transposed"], per_engine["per-bucket"]
+        for t in a.node_lists:
+            assert sorted(a.node_lists[t]) == sorted(b.node_lists.get(t, []))
+        for t in a.leaf_lists:
+            assert sorted(a.leaf_lists[t]) == sorted(b.leaf_lists.get(t, []))
+
+    def test_bucket_load_recorder(self, tree):
+        arrays = compute_centroid_arrays(tree, theta=0.6)
+        rec = BucketLoadRecorder(tree)
+        stats = get_traverser("transposed").traverse(
+            tree, GravityVisitor(tree, arrays), None, rec
+        )
+        assert rec.work.sum() > 0
+        per_particle = rec.per_particle_load(tree)
+        assert per_particle.shape == (tree.n_particles,)
+        assert per_particle.sum() == pytest.approx(rec.work.sum())
+        # total recorded work equals the stats' interaction totals
+        assert rec.work.sum() == pytest.approx(
+            stats.pp_interactions + stats.pn_interactions
+        )
+
+
+class TestStatsAndRegistry:
+    def test_stats_merge(self):
+        a = TraversalStats(opens=1, pp_interactions=10, targets=2)
+        b = TraversalStats(opens=2, node_interactions=5)
+        a.merge(b)
+        assert a.opens == 3 and a.node_interactions == 5 and a.targets == 2
+        assert a.as_dict()["pp_interactions"] == 10
+
+    def test_unknown_traverser(self):
+        with pytest.raises(ValueError, match="unknown traverser"):
+            get_traverser("spiral")
+
+    def test_register_custom(self):
+        class Nop(Traverser):
+            name = "nop"
+
+            def traverse(self, tree, visitor, targets=None, recorder=None):
+                return TraversalStats()
+
+        register_traverser("nop", Nop)
+        assert isinstance(get_traverser("nop"), Nop)
