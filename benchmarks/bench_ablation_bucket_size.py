@@ -6,7 +6,6 @@ buckets).  DESIGN.md lists it as a tunable; this bench maps the tradeoff
 and checks the expected monotonicities.
 """
 
-import pytest
 
 from repro.apps.gravity import compute_gravity
 from repro.bench import format_table, print_banner

@@ -6,7 +6,6 @@ processors ..."  This bench sweeps both and maps the request-count /
 bytes-moved tradeoff.
 """
 
-import pytest
 
 from repro.bench import build_gravity_workload, format_table, print_banner
 from repro.cache import WAITFREE, assign_fetch_groups, fetch_statistics

@@ -12,7 +12,6 @@ iteration time by a double-digit percentage vs count-based SFC slicing.
 """
 
 import numpy as np
-import pytest
 
 from repro.apps.gravity import GravityVisitor, compute_centroid_arrays
 from repro.bench import format_table, paper_reference, print_banner

@@ -13,8 +13,6 @@ tree itself is split along decomposition boundaries):
    small fraction.
 """
 
-import numpy as np
-import pytest
 
 from repro.bench import format_table, print_banner
 from repro.cache.stats import NODE_BYTES, PARTICLE_BYTES

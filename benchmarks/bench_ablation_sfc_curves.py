@@ -8,7 +8,6 @@ shared particles, and remote fetch volume.
 """
 
 import numpy as np
-import pytest
 
 from repro.apps.gravity import GravityVisitor, compute_centroid_arrays
 from repro.bench import format_table, print_banner
@@ -32,10 +31,6 @@ def _measure():
     visitor = GravityVisitor(tree, compute_centroid_arrays(tree, theta=0.7))
     lists = InteractionLists()
     get_traverser("transposed").traverse(tree, visitor, None, lists)
-    groups = assign_fetch_groups(tree, decompose(
-        tree, np.zeros(tree.n_particles, dtype=np.int64), n_subtrees=N_PARTS
-    ), nodes_per_request=2)
-
     rows = []
     for name in ("sfc", "hilbert"):
         parts = get_decomposer(name).assign(tree.particles, N_PARTS)

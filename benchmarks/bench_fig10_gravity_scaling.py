@@ -16,7 +16,6 @@ with BasicTrav in between, and the gap growing at scale as duplicate
 fetches bite.
 """
 
-import pytest
 
 from repro.bench import format_series, paper_reference, print_banner
 from repro.cache import PER_THREAD, WAITFREE
@@ -59,7 +58,7 @@ def test_fig10_shape(benchmark, uniform_workload):
     lo, hi = paper_reference.FIG10_SPEEDUP_RANGE
     ratios = [c / p for p, c in zip(sweep["ParaTreeT"], sweep["ChaNGa"])]
     print(f"\nChaNGa/ParaTreeT ratio per point: {[round(r, 2) for r in ratios]}")
-    print(f"paper: 'ParaTreeT performs iterations 2-3x faster from 1 to 256 nodes'")
+    print("paper: 'ParaTreeT performs iterations 2-3x faster from 1 to 256 nodes'")
 
     # ParaTreeT wins everywhere; by ~the paper's factor somewhere in the
     # sweep, and never by less than ~1.6x.

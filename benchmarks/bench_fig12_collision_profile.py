@@ -18,7 +18,6 @@ at observable rates.  The reproduced claims:
 """
 
 import numpy as np
-import pytest
 
 from repro.apps.collision import (
     RESONANCES,

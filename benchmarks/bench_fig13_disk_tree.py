@@ -16,8 +16,6 @@ tree wins, "especially at scale", and the octree's decomposition imbalance
 produces scaling anomalies like the paper's 192-core point.
 """
 
-import numpy as np
-import pytest
 
 from repro.bench import build_gravity_workload, format_series, paper_reference, print_banner
 from repro.cache import PER_THREAD, WAITFREE
@@ -71,10 +69,10 @@ def test_fig13_shape(benchmark):
     print("\npartition count-imbalance (max/mean) per decomposition:")
     for name, v in imbalances.items():
         print(f"  {name:18s} {v:.3f}")
-    print(f"\npaper: octree decomposition shows anomalies (e.g. at "
+    print("\npaper: octree decomposition shows anomalies (e.g. at "
           f"{paper_reference.FIG13_OCTREE_ANOMALY_CORES} cores); the "
-          f"longest-dimension tree 'has better load balance and can achieve "
-          f"greater performance, especially at scale'")
+          "longest-dimension tree 'has better load balance and can achieve "
+          "greater performance, especially at scale'")
 
     longest = series["Longest-dim"]
     oct_pt = series["Oct (ParaTreeT)"]

@@ -56,7 +56,7 @@ def test_fig3_shape(benchmark, clustered_workload):
     print(
         f"\npaper: XWrite degrades ~{paper_reference.FIG3_XWRITE_DEGRADES_CORES} "
         f"cores, Sequential ~{paper_reference.FIG3_SEQUENTIAL_DEGRADES_CORES} cores "
-        f"(80M particles; ours is a 25k-particle scale model)"
+        "(80M particles; ours is a 25k-particle scale model)"
     )
     wf, seq, xw = sweep["WaitFree"], sweep["Sequential"], sweep["XWrite"]
     # All models identical on one process (no remote traffic).

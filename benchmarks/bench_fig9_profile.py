@@ -10,7 +10,6 @@ course of one simulated iteration at the paper's 1 536-core configuration
 * "utilization remains high until the traversals finish toward the end".
 """
 
-import pytest
 
 from repro.bench import build_gravity_workload, format_series, paper_reference, print_banner
 from repro.cache import WAITFREE
@@ -49,7 +48,7 @@ def test_fig9_profile(benchmark, clustered_workload):
     r = benchmark.pedantic(_traced_run, args=(clustered_workload,), rounds=1, iterations=1)
     edges, series = utilization_profile(r.trace, N_PROC * WORKERS, n_bins=10)
     print_banner(f"Fig 9: utilisation profile at {N_PROC * WORKERS} cores "
-                 f"(fraction of workers busy)")
+                 "(fraction of workers busy)")
     xs = [f"{100 * (i + 1) / 10:.0f}%" for i in range(10)]
     print(format_series("time", xs, {k: [round(v, 4) for v in vals] for k, vals in series.items()}))
 

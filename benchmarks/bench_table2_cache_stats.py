@@ -18,7 +18,6 @@ numbers — the reproduced quantities are the ratios and orderings:
 * ParaTreeT's store miss rate is higher (paper: 0.036% vs 0.020%).
 """
 
-import pytest
 
 from repro.bench import format_table, paper_reference, print_banner
 from repro.memsim import profile_traversal_style

@@ -1,0 +1,60 @@
+"""Telemetry overhead: the Fig 9 DES configuration with and without the
+unified telemetry layer.
+
+The acceptance bar for the observability layer is near-zero cost when
+disabled (the seed path runs through the no-op tracer/registry singletons)
+and bounded cost when enabled (span bookkeeping + timeline conversion +
+counter absorption).  Run ``pytest benchmarks/bench_telemetry_overhead.py
+--benchmark-only -s`` to compare against ``bench_fig9_profile.py``.
+"""
+
+from repro.bench import build_gravity_workload, print_banner
+from repro.cache import WAITFREE
+from repro.obs import Telemetry, chrome_trace, use_telemetry
+from repro.runtime import STAMPEDE2, simulate_traversal
+
+N_PROC = 16
+WORKERS = 24
+
+
+def _workload():
+    return build_gravity_workload(
+        distribution="clustered", n=25_000, n_partitions=1024,
+        n_subtrees=1024, shared_branch_levels=4,
+    ).workload
+
+
+def test_des_telemetry_disabled(benchmark):
+    """Seed configuration: telemetry off, trace collection as in Fig 9."""
+    workload = _workload()
+
+    def run():
+        return simulate_traversal(
+            workload, machine=STAMPEDE2, n_processes=N_PROC,
+            workers_per_process=WORKERS, cache_model=WAITFREE,
+            collect_trace=True,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.trace is not None
+
+
+def test_des_telemetry_enabled(benchmark):
+    """Same run with a live telemetry session and Chrome-trace conversion."""
+    workload = _workload()
+
+    def run():
+        telemetry = Telemetry()
+        with use_telemetry(telemetry):
+            simulate_traversal(
+                workload, machine=STAMPEDE2, n_processes=N_PROC,
+                workers_per_process=WORKERS, cache_model=WAITFREE,
+            )
+        return telemetry
+
+    telemetry = benchmark.pedantic(run, rounds=1, iterations=1)
+    events = chrome_trace(telemetry)["traceEvents"]
+    print_banner("telemetry-enabled DES run")
+    print(f"trace events: {len(events):,}, metrics: {len(telemetry.metrics)}")
+    assert telemetry.metrics.total("des.events") > 0
+    assert any(e["cat"] == "des" for e in events)

@@ -28,6 +28,7 @@ __all__ = [
     "cache",
     "runtime",
     "memsim",
+    "obs",
     "apps",
     "bench",
 ]

@@ -26,11 +26,83 @@ def _add_common(p: argparse.ArgumentParser, n_default: int) -> None:
     p.add_argument("--tree", default="oct", choices=["oct", "kd", "longest"])
 
 
+def _add_telemetry(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trace", metavar="PATH", default=None,
+                   help="write a Chrome/Perfetto trace-event JSON")
+    p.add_argument("--metrics", metavar="PATH", default=None,
+                   help="write the metrics registry (.json, or .csv)")
+    p.add_argument("--report", action="store_true",
+                   help="print a telemetry summary after the run")
+
+
+def _telemetry_from_args(args):
+    """Install a live telemetry session when any telemetry flag was given."""
+    if not (args.trace or args.metrics or args.report):
+        return None
+    from .obs import Telemetry, set_telemetry
+
+    telemetry = Telemetry()
+    set_telemetry(telemetry)
+    return telemetry
+
+
+def _finish_telemetry(telemetry, args) -> None:
+    if telemetry is None:
+        return
+    from .obs import console_report, set_telemetry, write_chrome_trace
+    from .obs import write_metrics_csv, write_metrics_json
+
+    set_telemetry(None)
+    try:
+        if args.trace:
+            n = write_chrome_trace(telemetry, args.trace, command=args.command)
+            print(f"wrote {n} trace events to {args.trace} (open in ui.perfetto.dev)")
+        if args.metrics:
+            if args.metrics.endswith(".csv"):
+                n = write_metrics_csv(telemetry, args.metrics)
+            else:
+                n = write_metrics_json(telemetry, args.metrics)
+            print(f"wrote {n} metrics to {args.metrics}")
+    except OSError as exc:
+        print(f"error: could not write telemetry output: {exc}", file=sys.stderr)
+    if args.report:
+        print(console_report(telemetry), end="")
+
+
 def cmd_gravity(args) -> int:
     from .apps.gravity import compute_gravity, direct_accelerations, acceleration_error
     from .particles import clustered_clumps
 
     p = clustered_clumps(args.n, seed=args.seed)
+    telemetry = _telemetry_from_args(args)
+    if telemetry is not None:
+        # Run the full Driver pipeline so the trace shows all seven
+        # ``run_iteration`` phases (splitters ... rebalance), not just the
+        # bare traversal.
+        from .apps.gravity import GravityDriver
+        from .core import Configuration
+
+        cfg = Configuration(
+            num_iterations=args.iterations, tree_type=args.tree,
+            bucket_size=args.bucket, traverser=args.traverser,
+        )
+
+        class Main(GravityDriver):
+            def create_particles(self, config):
+                return p
+
+        driver = Main(cfg, theta=args.theta, softening=args.softening,
+                      with_quadrupole=args.quadrupole)
+        driver.enable_telemetry(telemetry)
+        t0 = time.time()
+        driver.run()
+        print(f"traversal: {time.time() - t0:.2f}s  {driver.last_stats.as_dict()}")
+        if args.check and args.n <= 20_000:
+            exact = direct_accelerations(driver.particles, softening=args.softening)
+            print("error vs direct sum: "
+                  f"{acceleration_error(driver.accelerations, exact)}")
+        _finish_telemetry(telemetry, args)
+        return 0
     t0 = time.time()
     res = compute_gravity(
         p, theta=args.theta, softening=args.softening,
@@ -49,6 +121,7 @@ def cmd_sph(args) -> int:
     from .particles import uniform_cube
     from .trees import build_tree
 
+    telemetry = _telemetry_from_args(args)
     p = uniform_cube(args.n, seed=args.seed)
     tree = build_tree(p, tree_type=args.tree, bucket_size=args.bucket)
     st = compute_density_knn(tree, k=args.k)
@@ -58,6 +131,7 @@ def cmd_sph(args) -> int:
         gd = gadget_style_density(tree, k=args.k)
         print(f"gadget-style: {gd.n_rounds} rounds, pp={gd.stats.pp_interactions:,} "
               f"({gd.stats.pp_interactions / st.stats.pp_interactions:.2f}x)")
+    _finish_telemetry(telemetry, args)
     return 0
 
 
@@ -66,6 +140,7 @@ def cmd_knn(args) -> int:
     from .particles import clustered_clumps
     from .trees import build_tree
 
+    telemetry = _telemetry_from_args(args)
     p = clustered_clumps(args.n, seed=args.seed)
     tree = build_tree(p, tree_type=args.tree, bucket_size=args.bucket)
     t0 = time.time()
@@ -73,6 +148,7 @@ def cmd_knn(args) -> int:
     print(f"kNN k={args.k}: {time.time() - t0:.2f}s, "
           f"median d_k={np.median(np.sqrt(res.dist_sq[:, -1])):.4f}, "
           f"pp={res.stats.pp_interactions:,} (brute force would be {args.n**2:,})")
+    _finish_telemetry(telemetry, args)
     return 0
 
 
@@ -90,10 +166,14 @@ def cmd_disk(args) -> int:
     cfg = Configuration(num_iterations=args.steps, tree_type="longest",
                         decomp_type="longest", num_partitions=16, num_subtrees=16)
     d = Main(cfg, dt=args.dt)
+    telemetry = _telemetry_from_args(args)
+    if telemetry is not None:
+        d.enable_telemetry(telemetry)
     t0 = time.time()
     d.run()
     print(f"{args.steps} steps in {time.time() - t0:.1f}s; "
           f"collisions recorded: {len(d.log)}")
+    _finish_telemetry(telemetry, args)
     return 0
 
 
@@ -101,11 +181,13 @@ def cmd_correlation(args) -> int:
     from .apps.correlation import two_point_correlation
     from .particles import clustered_clumps
 
+    telemetry = _telemetry_from_args(args)
     edges = np.geomspace(args.rmin, args.rmax, args.bins + 1)
     res = two_point_correlation(clustered_clumps(args.n, seed=args.seed), edges)
     print(f"{'r_lo':>8} {'r_hi':>8} {'xi':>10} {'DD':>10}")
     for i in range(len(res.xi)):
         print(f"{edges[i]:8.4f} {edges[i + 1]:8.4f} {res.xi[i]:10.3f} {res.dd[i]:10,}")
+    _finish_telemetry(telemetry, args)
     return 0
 
 
@@ -114,6 +196,7 @@ def cmd_scale(args) -> int:
     from .cache import CACHE_MODELS
     from .runtime import MACHINES, simulate_traversal
 
+    telemetry = _telemetry_from_args(args)
     machine = MACHINES[args.machine]
     gw = build_gravity_workload(distribution="clustered", n=args.n,
                                 n_partitions=args.partitions,
@@ -127,6 +210,7 @@ def cmd_scale(args) -> int:
                                workers_per_process=workers, cache_model=model)
         print(f"  {cores:>7} cores: {r.time * 1e3:9.3f} ms, "
               f"{r.requests:,} requests, {r.bytes_moved / 1e6:.1f} MB")
+    _finish_telemetry(telemetry, args)
     return 0
 
 
@@ -142,17 +226,22 @@ def main(argv=None) -> int:
                    choices=["transposed", "per-bucket", "up-and-down"])
     g.add_argument("--quadrupole", action="store_true")
     g.add_argument("--check", action="store_true", help="compare to direct sum")
+    g.add_argument("--iterations", type=int, default=1,
+                   help="driver iterations (telemetry runs only)")
+    _add_telemetry(g)
     g.set_defaults(fn=cmd_gravity)
 
     s = sub.add_parser("sph", help="SPH density estimation")
     _add_common(s, 6_000)
     s.add_argument("--k", type=int, default=32)
     s.add_argument("--baseline", action="store_true", help="run Gadget-style too")
+    _add_telemetry(s)
     s.set_defaults(fn=cmd_sph)
 
     k = sub.add_parser("knn", help="k-nearest-neighbour search")
     _add_common(k, 20_000)
     k.add_argument("--k", type=int, default=8)
+    _add_telemetry(k)
     k.set_defaults(fn=cmd_knn)
 
     d = sub.add_parser("disk", help="planetesimal disk with collisions")
@@ -161,6 +250,7 @@ def main(argv=None) -> int:
     d.add_argument("--steps", type=int, default=30)
     d.add_argument("--dt", type=float, default=0.02)
     d.add_argument("--radius", type=float, default=2.5e-3)
+    _add_telemetry(d)
     d.set_defaults(fn=cmd_disk)
 
     c = sub.add_parser("correlation", help="two-point correlation function")
@@ -169,6 +259,7 @@ def main(argv=None) -> int:
     c.add_argument("--rmin", type=float, default=0.01)
     c.add_argument("--rmax", type=float, default=1.0)
     c.add_argument("--bins", type=int, default=8)
+    _add_telemetry(c)
     c.set_defaults(fn=cmd_correlation)
 
     sc = sub.add_parser("scale", help="simulated strong-scaling sweep")
@@ -180,6 +271,7 @@ def main(argv=None) -> int:
                     choices=["WaitFree", "XWrite", "Sequential", "PerThread", "SingleWriter"])
     sc.add_argument("--workers", type=int, default=0, help="workers per process (0 = full node)")
     sc.add_argument("--cores", type=int, nargs="+", default=[24, 96, 384, 1536])
+    _add_telemetry(sc)
     sc.set_defaults(fn=cmd_scale)
 
     args = parser.parse_args(argv)

@@ -17,7 +17,7 @@ import numpy as np
 from ...core import TraversalStats
 from ...trees import Tree
 from ..knn import KNNResult, knn_search
-from .kernels import KERNELS, cubic_spline_W
+from .kernels import KERNELS
 
 __all__ = ["SPHState", "compute_density_knn", "density_from_neighbors"]
 

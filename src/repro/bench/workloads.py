@@ -13,11 +13,10 @@ from dataclasses import dataclass
 from functools import lru_cache
 
 from ..apps.gravity import GravityVisitor, compute_centroid_arrays
-from ..apps.knn import knn_search
 from ..apps.sph import gadget_style_density
 from ..core import InteractionLists, TraversalStats, get_traverser
 from ..decomp import Decomposition, decompose, get_decomposer
-from ..particles import ParticleSet, clustered_clumps, keplerian_disk, uniform_cube
+from ..particles import clustered_clumps, keplerian_disk, uniform_cube
 from ..runtime import CostModel, WorkloadSpec, workload_from_traversal
 from ..trees import Tree, build_tree
 

@@ -107,6 +107,8 @@ class FetchStats:
     requests: np.ndarray = field(default_factory=lambda: np.zeros(0))
     #: bytes received per process
     bytes_in: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    #: remote fetch-group references per process (hits + cold misses)
+    touches: np.ndarray = field(default_factory=lambda: np.zeros(0))
 
     @property
     def total_requests(self) -> int:
@@ -115,6 +117,16 @@ class FetchStats:
     @property
     def total_bytes(self) -> float:
         return float(self.bytes_in.sum())
+
+    @property
+    def total_hits(self) -> float:
+        """Remote references served from the already-filled cache."""
+        return float(np.maximum(self.touches - self.unique_fetches, 0.0).sum())
+
+    @property
+    def hit_rate(self) -> float:
+        t = self.touches.sum()
+        return float(self.total_hits / t) if t else 0.0
 
     @property
     def duplication_factor(self) -> float:
@@ -150,6 +162,7 @@ def fetch_statistics(
     proc_groups: list[set[int]] = [set() for _ in range(n_processes)]
     thread_groups: list[set[tuple[int, int]]] = [set() for _ in range(n_processes)]
     bytes_in = np.zeros(n_processes)
+    touches = np.zeros(n_processes)
 
     bucket_seq: dict[int, int] = {}
     for leaf, visited in lists.visited.items():
@@ -163,6 +176,7 @@ def fetch_statistics(
             home = int(st_proc[groups.group_subtree[g]])
             if home == proc:
                 continue  # local subtree
+            touches[proc] += 1
             if g not in proc_groups[proc]:
                 proc_groups[proc].add(g)
                 bytes_in[proc] += groups.group_bytes[g]
@@ -188,15 +202,33 @@ def fetch_statistics(
         unique_fetches=unique,
         requests=requests,
         bytes_in=bytes_eff,
+        touches=touches,
     )
 
 
 def _leaf_partition(tree: Tree, decomp: Decomposition) -> np.ndarray:
-    """Majority-owner partition per leaf (split buckets are rare, §II-C-1)."""
+    """Majority-owner partition per leaf (split buckets are rare, §II-C-1).
+
+    One ``np.bincount`` over a combined (leaf, partition) key replaces the
+    per-leaf ``np.unique`` loop; ties break toward the smallest partition
+    id, exactly like ``np.unique`` + ``argmax`` did.
+    """
     out = np.zeros(tree.n_nodes, dtype=np.int64)
-    pp = decomp.particle_partition
-    for leaf in tree.leaf_indices:
-        s, e = int(tree.pstart[leaf]), int(tree.pend[leaf])
-        vals, cnt = np.unique(pp[s:e], return_counts=True)
-        out[leaf] = vals[np.argmax(cnt)]
+    pp = np.asarray(decomp.particle_partition, dtype=np.int64)
+    leaves = tree.leaf_indices
+    if len(leaves) == 0:
+        return out
+    starts = tree.pstart[leaves].astype(np.int64)
+    ends = tree.pend[leaves].astype(np.int64)
+    lengths = ends - starts
+    # Particle positions of every leaf, concatenated, with the owning
+    # leaf's rank alongside.
+    idx = np.repeat(starts - np.concatenate(([0], np.cumsum(lengths)[:-1])), lengths) \
+        + np.arange(int(lengths.sum()), dtype=np.int64)
+    leaf_rank = np.repeat(np.arange(len(leaves), dtype=np.int64), lengths)
+    n_parts = int(pp.max()) + 1 if pp.size else 1
+    counts = np.bincount(
+        leaf_rank * n_parts + pp[idx], minlength=len(leaves) * n_parts
+    ).reshape(len(leaves), n_parts)
+    out[leaves] = np.argmax(counts, axis=1)
     return out

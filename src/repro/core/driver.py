@@ -24,6 +24,7 @@ from typing import Any
 
 import numpy as np
 
+from ..obs import NULL_TELEMETRY, Telemetry, set_telemetry
 from ..particles import ParticleSet, load_particles
 from ..trees import Tree, build_tree
 from ..decomp import Decomposition, decompose, get_decomposer
@@ -31,6 +32,7 @@ from ..decomp.loadbalance import sfc_rebalance, spatial_bisection_rebalance
 from .config import Configuration
 from .traverser import (
     BucketLoadRecorder,
+    InteractionLists,
     Recorder,
     TraversalStats,
     get_traverser,
@@ -57,7 +59,11 @@ class Partitions:
     def _run(self, traverser_name: str, visitor: Visitor) -> TraversalStats:
         driver = self._driver
         engine = get_traverser(traverser_name)
-        recorders = [r for r in (driver._load_recorder, driver._extra_recorder) if r]
+        recorders = [
+            r
+            for r in (driver._load_recorder, driver._extra_recorder, driver._telemetry_lists)
+            if r
+        ]
         recorder = _MultiRecorder(recorders) if recorders else None
         stats = engine.traverse(driver.tree, visitor, self._targets(), recorder)
         driver.last_stats.merge(stats)
@@ -98,6 +104,20 @@ class _MultiRecorder(Recorder):
             r.on_leaf(tree, sources, targets)
 
 
+def _jsonable(value: Any) -> Any:
+    """Recursively convert numpy scalars/arrays (and containers of them)
+    into plain JSON-serializable Python values."""
+    if isinstance(value, np.ndarray):
+        return [_jsonable(v) for v in value.tolist()]
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
 @dataclass
 class IterationReport:
     """What one iteration did; collected in ``Driver.reports``."""
@@ -110,6 +130,20 @@ class IterationReport:
     n_shared_particles: int
     rebalanced: bool = False
     user: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable view (numpy arrays/scalars converted), so
+        reports can feed the metrics exporter and be diffed across runs."""
+        return {
+            "iteration": int(self.iteration),
+            "stats": {k: int(v) for k, v in self.stats.as_dict().items()},
+            "partition_loads": _jsonable(np.asarray(self.partition_loads)),
+            "imbalance": float(self.imbalance),
+            "n_split_buckets": int(self.n_split_buckets),
+            "n_shared_particles": int(self.n_shared_particles),
+            "rebalanced": bool(self.rebalanced),
+            "user": _jsonable(self.user),
+        }
 
 
 class Driver:
@@ -126,6 +160,8 @@ class Driver:
         self._load_recorder: BucketLoadRecorder | None = None
         self._extra_recorder: Recorder | None = None
         self._pending_assignment: np.ndarray | None = None
+        self.telemetry: Telemetry = NULL_TELEMETRY
+        self._telemetry_lists: InteractionLists | None = None
 
     # -- user hooks ---------------------------------------------------------
     def configure(self, config: Configuration) -> None:
@@ -155,6 +191,22 @@ class Driver:
         """Attach an observer to every traversal (profiling, memsim)."""
         self._extra_recorder = recorder
 
+    def enable_telemetry(
+        self, telemetry: Telemetry | None = None, install_global: bool = True
+    ) -> Telemetry:
+        """Attach a :class:`~repro.obs.Telemetry` to this driver.
+
+        Every subsequent :meth:`run_iteration` records nested spans for the
+        seven pipeline phases and folds traversal, cache, and imbalance
+        counters into the metrics registry.  ``install_global`` also makes
+        it the process-wide current telemetry so spans inside ``build_tree``,
+        ``decompose``, and the traversal engines nest under the phase spans.
+        """
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        if install_global:
+            set_telemetry(self.telemetry if self.telemetry.enabled else None)
+        return self.telemetry
+
     def run(self) -> list[IterationReport]:
         self.configure(self.config)
         cfg = self.config
@@ -171,80 +223,127 @@ class Driver:
         """One full decompose/build/traverse/post cycle."""
         cfg = self.config
         assert self.particles is not None
+        tel = self.telemetry
+        tracer = tel.tracer
 
-        # 1. Partition splitters + particle marking.  A flush (paper
-        # §II-D-1: "ParaTreeT rebuilds and reassigns partitions during a
-        # 'flush' step if load ever becomes irreparably imbalanced")
-        # discards any carried-over assignment and re-decomposes from
-        # scratch — periodically via ``flush_period`` and reactively when
-        # the previous iteration's imbalance exceeded the threshold in
-        # ``config.extra["flush_imbalance"]``.
-        flush = cfg.flush_period > 0 and iteration > 0 and iteration % cfg.flush_period == 0
-        threshold = cfg.extra.get("flush_imbalance")
-        if threshold is not None and self.reports:
-            flush = flush or self.reports[-1].imbalance > float(threshold)
-        if flush:
-            self._pending_assignment = None
-        if self._pending_assignment is not None:
-            part_ids = self._pending_assignment
-            self._pending_assignment = None
-            rebalanced = True
-        else:
-            decomposer = get_decomposer(cfg.decomp_type)
-            part_ids = decomposer.assign(self.particles, cfg.num_partitions)
-            rebalanced = False
-
-        # 2. Tree build (particles get permuted into tree order).  part_ids
-        # are indexed by the pre-build ordering; recover the build's
-        # permutation from orig_index — unique labels, but not necessarily
-        # contiguous (merging/removal keeps original labels).
-        prev_labels = self.particles.orig_index
-        sorter = np.argsort(prev_labels)
-        self.tree = build_tree(self.particles, cfg.tree_build_config())
-        self.particles = self.tree.particles
-        build_order = sorter[
-            np.searchsorted(prev_labels, self.particles.orig_index, sorter=sorter)
-        ]  # tree position -> pre-build position
-        tree_order_parts = part_ids[build_order]
-
-        # 3. Partitions-Subtrees decomposition + leaf sharing.
-        self.decomposition = decompose(
-            self.tree, tree_order_parts, cfg.num_subtrees, n_processes=cfg.num_partitions
-        )
-
-        # 4. Data extraction.
-        self.prepare(self.tree)
-
-        # 5. Traversal.
-        self.last_stats = TraversalStats()
-        want_lb = cfg.lb_period > 0 and (iteration + 1) % cfg.lb_period == 0
-        self._load_recorder = BucketLoadRecorder(self.tree) if want_lb else None
-        self.traversal(iteration)
-
-        # 6. Post-traversal physics.
-        self.post_traversal(iteration)
-
-        # 7. Measured-load re-balancing.
-        loads = self.decomposition.partition_loads()
-        if want_lb and self._load_recorder is not None:
-            per_particle = self._load_recorder.per_particle_load(self.tree)
-            if cfg.lb_strategy == "sfc":
-                new_parts = sfc_rebalance(self.particles, per_particle, cfg.num_partitions)
-            else:
-                new_parts = spatial_bisection_rebalance(
-                    self.particles, per_particle, cfg.num_partitions
+        with tracer.span("iteration", cat="driver", iteration=iteration):
+            # 1. Partition splitters + particle marking.  A flush (paper
+            # §II-D-1: "ParaTreeT rebuilds and reassigns partitions during a
+            # 'flush' step if load ever becomes irreparably imbalanced")
+            # discards any carried-over assignment and re-decomposes from
+            # scratch — periodically via ``flush_period`` and reactively when
+            # the previous iteration's imbalance exceeded the threshold in
+            # ``config.extra["flush_imbalance"]``.
+            with tracer.span("splitters", cat="driver.phase"):
+                flush = (
+                    cfg.flush_period > 0
+                    and iteration > 0
+                    and iteration % cfg.flush_period == 0
                 )
-            self._pending_assignment = new_parts
-        self._load_recorder = None
+                threshold = cfg.extra.get("flush_imbalance")
+                if threshold is not None and self.reports:
+                    flush = flush or self.reports[-1].imbalance > float(threshold)
+                if flush:
+                    self._pending_assignment = None
+                if self._pending_assignment is not None:
+                    part_ids = self._pending_assignment
+                    self._pending_assignment = None
+                    rebalanced = True
+                else:
+                    decomposer = get_decomposer(cfg.decomp_type)
+                    part_ids = decomposer.assign(self.particles, cfg.num_partitions)
+                    rebalanced = False
 
-        report = IterationReport(
-            iteration=iteration,
-            stats=self.last_stats,
-            partition_loads=loads,
-            imbalance=float(loads.max() / loads.mean()) if loads.sum() else 1.0,
-            n_split_buckets=self.decomposition.n_split_buckets,
-            n_shared_particles=self.decomposition.n_shared_particles,
-            rebalanced=rebalanced,
-        )
-        self.reports.append(report)
+            # 2. Tree build (particles get permuted into tree order).  part_ids
+            # are indexed by the pre-build ordering; recover the build's
+            # permutation from orig_index — unique labels, but not necessarily
+            # contiguous (merging/removal keeps original labels).
+            with tracer.span("tree_build", cat="driver.phase"):
+                prev_labels = self.particles.orig_index
+                sorter = np.argsort(prev_labels)
+                self.tree = build_tree(self.particles, cfg.tree_build_config())
+                self.particles = self.tree.particles
+                build_order = sorter[
+                    np.searchsorted(prev_labels, self.particles.orig_index, sorter=sorter)
+                ]  # tree position -> pre-build position
+                tree_order_parts = part_ids[build_order]
+
+            # 3. Partitions-Subtrees decomposition + leaf sharing.
+            with tracer.span("leaf_sharing", cat="driver.phase"):
+                self.decomposition = decompose(
+                    self.tree, tree_order_parts, cfg.num_subtrees,
+                    n_processes=cfg.num_partitions,
+                )
+
+            # 4. Data extraction.
+            with tracer.span("prepare", cat="driver.phase"):
+                self.prepare(self.tree)
+
+            # 5. Traversal.
+            with tracer.span("traversal", cat="driver.phase"):
+                self.last_stats = TraversalStats()
+                want_lb = cfg.lb_period > 0 and (iteration + 1) % cfg.lb_period == 0
+                self._load_recorder = BucketLoadRecorder(self.tree) if want_lb else None
+                self._telemetry_lists = InteractionLists() if tel.enabled else None
+                self.traversal(iteration)
+
+            # 6. Post-traversal physics.
+            with tracer.span("post_traversal", cat="driver.phase"):
+                self.post_traversal(iteration)
+
+            # 7. Measured-load re-balancing.
+            with tracer.span("rebalance", cat="driver.phase"):
+                loads = self.decomposition.partition_loads()
+                if want_lb and self._load_recorder is not None:
+                    per_particle = self._load_recorder.per_particle_load(self.tree)
+                    if cfg.lb_strategy == "sfc":
+                        new_parts = sfc_rebalance(
+                            self.particles, per_particle, cfg.num_partitions
+                        )
+                    else:
+                        new_parts = spatial_bisection_rebalance(
+                            self.particles, per_particle, cfg.num_partitions
+                        )
+                    self._pending_assignment = new_parts
+                self._load_recorder = None
+
+            report = IterationReport(
+                iteration=iteration,
+                stats=self.last_stats,
+                partition_loads=loads,
+                imbalance=float(loads.max() / loads.mean()) if loads.sum() else 1.0,
+                n_split_buckets=self.decomposition.n_split_buckets,
+                n_shared_particles=self.decomposition.n_shared_particles,
+                rebalanced=rebalanced,
+            )
+            self.reports.append(report)
+            if tel.enabled:
+                tel.metrics.absorb_iteration_report(report)
+                self._collect_cache_metrics(iteration)
+            self._telemetry_lists = None
         return report
+
+    def _collect_cache_metrics(self, iteration: int) -> None:
+        """Software-cache counters for the traversals this iteration ran:
+        fetch groups the traversal touched, split by local/remote under the
+        iteration's Partitions–Subtrees placement (one simulated process per
+        partition), through the WaitFree cache model.  Telemetry-only — the
+        seed path never calls this."""
+        lists = self._telemetry_lists
+        if lists is None or not lists.visited or self.decomposition is None:
+            return
+        from ..cache.models import WAITFREE
+        from ..cache.stats import assign_fetch_groups, fetch_statistics
+
+        cfg = self.config
+        with self.telemetry.span("cache_stats", cat="obs"):
+            groups = assign_fetch_groups(
+                self.tree, self.decomposition,
+                nodes_per_request=cfg.nodes_per_request,
+                shared_branch_levels=cfg.shared_branch_levels,
+            )
+            fs = fetch_statistics(
+                self.tree, lists, self.decomposition, groups,
+                n_processes=cfg.num_partitions, cache_model=WAITFREE,
+            )
+        self.telemetry.metrics.absorb_fetch_stats(fs, iteration=iteration)

@@ -25,7 +25,7 @@ __all__ = ["DualTreeTraverser"]
 class DualTreeTraverser(Traverser):
     name = "dual-tree"
 
-    def traverse(
+    def _traverse(
         self,
         tree: Tree,
         visitor: Visitor,

@@ -34,7 +34,7 @@ __all__ = ["PriorityTraverser"]
 class PriorityTraverser(Traverser):
     name = "priority"
 
-    def traverse(
+    def _traverse(
         self,
         tree: Tree,
         visitor: Visitor,
@@ -59,7 +59,6 @@ class PriorityTraverser(Traverser):
             heap: list[tuple[float, int]] = [
                 (float(priority_fn(tree, tree.root, tgt)), tree.root)
             ]
-            seq = 0
             while heap:
                 if visitor.done(tree.node(tgt)):
                     break

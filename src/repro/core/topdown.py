@@ -37,7 +37,7 @@ class PerBucketTraverser(Traverser):
 
     name = "per-bucket"
 
-    def traverse(
+    def _traverse(
         self,
         tree: Tree,
         visitor: Visitor,
@@ -95,7 +95,7 @@ class TransposedTraverser(Traverser):
 
     name = "transposed"
 
-    def traverse(
+    def _traverse(
         self,
         tree: Tree,
         visitor: Visitor,

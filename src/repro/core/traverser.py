@@ -21,10 +21,11 @@ possibly different order/batching) — the equivalence tests rely on that.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import get_telemetry
 from ..trees import Tree
 from .visitor import Visitor
 
@@ -157,14 +158,34 @@ class BucketLoadRecorder(Recorder):
 class Traverser:
     """Base class: a traversal strategy over one tree.
 
-    Subclasses implement :meth:`traverse`.  ``targets`` defaults to all
-    leaves of the tree (every bucket computes); Partitions pass the subset
-    of buckets they own.
+    Subclasses implement :meth:`_traverse` (preferred — :meth:`traverse`
+    then wraps every run in a telemetry span and folds the stats into the
+    current metrics registry) or override :meth:`traverse` wholesale.
+    ``targets`` defaults to all leaves of the tree (every bucket computes);
+    Partitions pass the subset of buckets they own.
     """
 
     name: str = "abstract"
 
     def traverse(
+        self,
+        tree: Tree,
+        visitor: Visitor,
+        targets: np.ndarray | None = None,
+        recorder: Recorder | None = None,
+    ) -> TraversalStats:
+        """Run the traversal (telemetry-instrumented entry point)."""
+        telemetry = get_telemetry()
+        if not telemetry.enabled:
+            return self._traverse(tree, visitor, targets, recorder)
+        with telemetry.tracer.span(
+            f"traverse.{self.name}", cat="traversal", visitor=type(visitor).__name__
+        ):
+            stats = self._traverse(tree, visitor, targets, recorder)
+        telemetry.metrics.absorb_traversal_stats(stats, engine=self.name)
+        return stats
+
+    def _traverse(
         self,
         tree: Tree,
         visitor: Visitor,

@@ -28,7 +28,7 @@ __all__ = ["UpAndDownTraverser"]
 class UpAndDownTraverser(Traverser):
     name = "up-and-down"
 
-    def traverse(
+    def _traverse(
         self,
         tree: Tree,
         visitor: Visitor,

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs import traced
 from ..trees import Tree
 
 __all__ = [
@@ -155,6 +156,7 @@ def _choose_subtree_roots(tree: Tree, n_subtrees: int) -> list[int]:
     return frontier
 
 
+@traced("decompose", cat="decomp")
 def decompose(
     tree: Tree,
     particle_partition: np.ndarray,

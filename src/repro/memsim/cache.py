@@ -38,6 +38,15 @@ class CacheStats:
             self.store_misses + other.store_misses,
         )
 
+    def as_dict(self) -> dict[str, int]:
+        """Plain counters, ready for the telemetry metrics registry."""
+        return {
+            "load_accesses": self.load_accesses,
+            "load_misses": self.load_misses,
+            "store_accesses": self.store_accesses,
+            "store_misses": self.store_misses,
+        }
+
 
 class CacheLevel:
     """One cache level: ``size_bytes`` / ``ways`` / ``line_size`` geometry,

@@ -25,7 +25,6 @@ class HierarchyStats:
 
     def as_table_row(self) -> dict[str, float]:
         """The quantities Table II reports."""
-        combined_store_accesses = self.l1.store_accesses + self.l2.store_accesses
         combined_store_misses = self.l2.store_misses  # misses that left L2
         return {
             "l1_loads": self.l1.load_accesses,

@@ -15,6 +15,7 @@ import numpy as np
 
 from ..apps.gravity import GravityVisitor, compute_centroid_arrays
 from ..core import get_traverser
+from ..obs import get_telemetry, traced
 from ..trees import Tree
 from .hierarchy import CacheHierarchy
 from .trace import DataLayout, MemoryTraceRecorder, interleave_traces, replay_trace
@@ -46,6 +47,7 @@ class CacheProfile:
         return dict(self.__dict__)
 
 
+@traced("memsim.profile", cat="memsim")
 def profile_traversal_style(
     tree: Tree,
     style: str = "transposed",
@@ -102,6 +104,13 @@ def profile_traversal_style(
     replay_trace(hier, addrs, writes, cpus, max_accesses=max_accesses)
     st = hier.stats()
     row = st.as_table_row()
+
+    telemetry = get_telemetry()
+    if telemetry.enabled:
+        for level, cache_stats in (("L1", st.l1), ("L2", st.l2), ("L3", st.l3)):
+            telemetry.metrics.absorb_cache_stats(
+                cache_stats, level=level, style=style, n_cpus=n_cpus
+            )
 
     # Cycle-weighted runtime estimate from the hit distribution (divided
     # across CPUs; the traversal is embarrassingly parallel over buckets).

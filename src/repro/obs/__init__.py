@@ -1,0 +1,81 @@
+"""Unified telemetry: spans, metrics, and Perfetto/Chrome-trace export.
+
+The paper reads ParaTreeT's behaviour off observability artifacts —
+Charm++ *Projections* timelines (Fig 9, Fig 12), cache hit/request counters
+(Table II), per-phase profiles.  This package is the reproduction's
+equivalent, one layer for the whole pipeline:
+
+* :mod:`repro.obs.span` — nested :class:`Span`/:class:`Tracer` timing with
+  real or simulated (DES) clocks;
+* :mod:`repro.obs.metrics` — a labelled counter/gauge/histogram registry
+  that absorbs the scattered stats objects (``TraversalStats``,
+  ``FetchStats``, memsim ``CacheStats``, ``IterationReport``);
+* :mod:`repro.obs.export` — Chrome trace-event JSON (open in
+  https://ui.perfetto.dev), CSV, and console reports;
+* :mod:`repro.obs.telemetry` — the :class:`Telemetry` facade and the
+  process-wide current telemetry (a no-op singleton when disabled).
+
+Quick use::
+
+    from repro.obs import Telemetry, use_telemetry, write_chrome_trace
+
+    tel = Telemetry()
+    with use_telemetry(tel):
+        driver.run()                      # or any instrumented entry point
+    write_chrome_trace(tel, "trace.json")
+
+or end-to-end from the CLI::
+
+    python -m repro gravity --n 5000 --trace t.json --metrics m.json
+"""
+
+from .span import NULL_TRACER, NullTracer, Span, Tracer
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    NULL_METRICS,
+)
+from .telemetry import (
+    NULL_TELEMETRY,
+    Telemetry,
+    get_telemetry,
+    set_telemetry,
+    traced,
+    use_telemetry,
+)
+from .export import (
+    chrome_trace,
+    console_report,
+    metrics_dict,
+    write_chrome_trace,
+    write_metrics_csv,
+    write_metrics_json,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_METRICS",
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "get_telemetry",
+    "set_telemetry",
+    "use_telemetry",
+    "traced",
+    "chrome_trace",
+    "console_report",
+    "metrics_dict",
+    "write_chrome_trace",
+    "write_metrics_csv",
+    "write_metrics_json",
+]

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..cache.models import CacheModel, WAITFREE
+from ..obs import Telemetry, get_telemetry
 from .des import FifoResource, Simulator, WorkerPool
 from .machine import MachineSpec, STAMPEDE2
 from .tracing import ActivityTrace, activity_totals
@@ -89,6 +90,7 @@ class TraversalSim:
         traversal_style: str = "transposed",
         collect_trace: bool = False,
         processes_per_node: int = 1,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.workload = workload
         self.machine = machine
@@ -98,7 +100,10 @@ class TraversalSim:
         base_cost = cost or CostModel()
         self.cost = base_cost.scaled_to(machine.clock_ghz)
         self.style_factor = self.cost.style_factor(traversal_style)
-        self.collect_trace = collect_trace
+        self.telemetry = telemetry if telemetry is not None else get_telemetry()
+        # Telemetry wants the timeline: the exported Chrome trace reproduces
+        # the Projections-style Fig 9 view from the worker intervals.
+        self.collect_trace = collect_trace or self.telemetry.enabled
         # Placement: block maps, hierarchy-preserving for SFC orders.
         self.part_proc = (
             np.arange(workload.n_partitions, dtype=np.int64) * n_processes
@@ -108,7 +113,7 @@ class TraversalSim:
         ) // workload.n_subtrees
 
         self.sim = Simulator()
-        self.trace = ActivityTrace() if collect_trace else None
+        self.trace = ActivityTrace() if self.collect_trace else None
         self.pools = [
             WorkerPool(self.sim, self.workers, trace=self.trace, process_id=p)
             for p in range(n_processes)
@@ -227,6 +232,25 @@ class TraversalSim:
         self.sim.schedule(self._latency(proc, home), arrive_home)
         return state
 
+    def _export_telemetry(
+        self, telemetry: Telemetry, total_time: float, activity: dict[str, float]
+    ) -> None:
+        """Fold the finished simulation into the telemetry session: every
+        worker-task interval becomes a trace event on simulated time (pid =
+        process, tid = worker — the Fig 9 timeline), and the communication
+        counters land in the metrics registry."""
+        if self.trace is not None:
+            telemetry.tracer.record_activity_trace(self.trace)
+        metrics = telemetry.metrics
+        model = self.cache_model.name
+        metrics.counter("des.requests", model=model).inc(self.requests)
+        metrics.counter("des.duplicate_requests", model=model).inc(self.duplicate_requests)
+        metrics.counter("des.bytes_moved", model=model).inc(self.bytes_moved)
+        metrics.counter("des.events", model=model).inc(self.sim.events_processed)
+        metrics.gauge("des.sim_time", model=model).set(total_time)
+        for label, seconds in activity.items():
+            metrics.counter("des.busy_seconds", model=model, activity=label).inc(seconds)
+
     # -- main -------------------------------------------------------------------
     def run(self) -> SimResult:
         wl = self.workload
@@ -278,10 +302,18 @@ class TraversalSim:
                 on_start=start_bucket,
             )
 
-        total_time = self.sim.run()
+        telemetry = self.telemetry
+        with telemetry.tracer.span(
+            "des.run", cat="des.loop",
+            n_processes=self.n_processes, workers=self.workers,
+            cache_model=self.cache_model.name, machine=self.machine.name,
+        ):
+            total_time = self.sim.run()
         activity = activity_totals(self.trace) if self.trace else {
             "busy": sum(p.busy_time for p in self.pools)
         }
+        if telemetry.enabled:
+            self._export_telemetry(telemetry, total_time, activity)
         return SimResult(
             time=total_time,
             n_processes=self.n_processes,
@@ -306,6 +338,7 @@ def simulate_traversal(
     traversal_style: str = "transposed",
     collect_trace: bool = False,
     processes_per_node: int = 1,
+    telemetry: Telemetry | None = None,
 ) -> SimResult:
     """Convenience wrapper: configure and run one :class:`TraversalSim`."""
     return TraversalSim(
@@ -318,4 +351,5 @@ def simulate_traversal(
         traversal_style=traversal_style,
         collect_trace=collect_trace,
         processes_per_node=processes_per_node,
+        telemetry=telemetry,
     ).run()

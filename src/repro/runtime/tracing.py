@@ -66,18 +66,17 @@ def utilization_profile(
         return np.zeros(n_bins + 1), {}
     edges = np.linspace(t0, t1, n_bins + 1)
     width = edges[1] - edges[0]
-    out: dict[str, np.ndarray] = {}
-    for _, _, start, end, label in trace.intervals:
-        series = out.setdefault(label, np.zeros(n_bins))
-        # Distribute the interval across the bins it overlaps.
-        first = int(np.clip((start - t0) // width, 0, n_bins - 1))
-        last = int(np.clip((end - t0) // width, 0, n_bins - 1))
-        for b in range(first, last + 1):
-            lo = max(start, edges[b])
-            hi = min(end, edges[b + 1])
-            if hi > lo:
-                series[b] += hi - lo
+    starts = np.array([iv[2] for iv in trace.intervals])
+    ends = np.array([iv[3] for iv in trace.intervals])
+    labels = np.array([iv[4] for iv in trace.intervals])
+    # Overlap of every interval with every bin in one broadcast:
+    # max(0, min(end, right_edge) - max(start, left_edge)) -> (n_iv, n_bins).
+    overlap = np.minimum(ends[:, None], edges[None, 1:]) - np.maximum(
+        starts[:, None], edges[None, :-1]
+    )
+    np.clip(overlap, 0.0, None, out=overlap)
     denom = width * n_workers_total
-    for label in out:
-        out[label] = out[label] / denom
+    out: dict[str, np.ndarray] = {}
+    for label in np.unique(labels):
+        out[str(label)] = overlap[labels == label].sum(axis=0) / denom
     return edges, out

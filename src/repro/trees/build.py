@@ -87,16 +87,20 @@ def build_tree(particles: ParticleSet, config: TreeBuildConfig | None = None, **
         raise ValueError("cannot build a tree over zero particles")
 
     # Imported here to avoid a circular import at module load.
+    from ..obs import get_telemetry
     from .build_oct import build_octree
     from .build_binary import build_kd_tree, build_longest_dim_tree
 
     name = str(config.tree_type)
-    if name in _BUILDERS:
-        return _BUILDERS[name](particles, config)
-    if config.tree_type == TreeType.OCT:
-        return build_octree(particles, config)
-    if config.tree_type == TreeType.KD:
-        return build_kd_tree(particles, config)
-    if config.tree_type == TreeType.LONGEST_DIM:
-        return build_longest_dim_tree(particles, config)
-    raise ValueError(f"unknown tree type {config.tree_type!r}")
+    with get_telemetry().tracer.span(
+        "build_tree", cat="trees", tree_type=name, n_particles=len(particles)
+    ):
+        if name in _BUILDERS:
+            return _BUILDERS[name](particles, config)
+        if config.tree_type == TreeType.OCT:
+            return build_octree(particles, config)
+        if config.tree_type == TreeType.KD:
+            return build_kd_tree(particles, config)
+        if config.tree_type == TreeType.LONGEST_DIM:
+            return build_longest_dim_tree(particles, config)
+        raise ValueError(f"unknown tree type {config.tree_type!r}")

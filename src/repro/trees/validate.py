@@ -62,11 +62,17 @@ def check_tree_invariants(tree: Tree, check_boxes: bool = True) -> None:
 
     if check_boxes:
         pos = tree.particles.position
+        # A tiny tolerance absorbs the float arithmetic in split planes.  It
+        # must scale with the coordinate magnitude: Morton binning quantises
+        # positions on an integer grid while child boxes come from float
+        # halving, and the two disagree by up to a few ulps of the universe
+        # extent (catastrophic cancellation near split planes).
+        scale = float(max(np.abs(tree.box_lo[0]).max(), np.abs(tree.box_hi[0]).max(), 1.0))
+        tol = 1e-12 + 8.0 * np.finfo(np.float64).eps * scale
         for i in range(tree.n_nodes):
             s, e = tree.pstart[i], tree.pend[i]
-            # A tiny tolerance absorbs the float arithmetic in split planes.
-            lo = tree.box_lo[i] - 1e-12
-            hi = tree.box_hi[i] + 1e-12
+            lo = tree.box_lo[i] - tol
+            hi = tree.box_hi[i] + tol
             inside = boxes_contain_points(lo, hi, pos[s:e])
             assert bool(np.all(inside)), f"node {i} has particles outside its box"
 

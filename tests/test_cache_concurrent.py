@@ -7,7 +7,6 @@ fills never observe a half-built subtree.
 
 import threading
 
-import numpy as np
 import pytest
 
 from repro.cache import SharedTreeCache

@@ -1,5 +1,7 @@
 """The ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -42,6 +44,31 @@ class TestCLI:
         ]) == 0
         out = capsys.readouterr().out
         assert "24 cores" in out and "48 cores" in out
+
+    def test_gravity_trace_and_metrics(self, capsys, tmp_path):
+        trace, metrics = tmp_path / "t.json", tmp_path / "m.json"
+        assert main([
+            "gravity", "--n", "1200",
+            "--trace", str(trace), "--metrics", str(metrics), "--report",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "trace events" in out and "-- metrics" in out
+        events = json.loads(trace.read_text())["traceEvents"]
+        names = {e["name"] for e in events}
+        assert {"iteration", "tree_build", "traversal", "rebalance"} <= names
+        snaps = json.loads(metrics.read_text())["metrics"]
+        metric_names = {s["name"] for s in snaps}
+        assert {"cache.hits", "cache.misses", "driver.imbalance"} <= metric_names
+
+    def test_scale_metrics_csv(self, capsys, tmp_path):
+        metrics = tmp_path / "m.csv"
+        assert main([
+            "scale", "--n", "2000", "--partitions", "32",
+            "--cores", "24", "--metrics", str(metrics),
+        ]) == 0
+        header, *rows = metrics.read_text().strip().splitlines()
+        assert header == "name,type,labels,value,extra"
+        assert any(r.startswith("des.requests,") for r in rows)
 
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):

@@ -192,7 +192,6 @@ class TestPlanetesimalDriver:
         d.configure(d.config)
         d.particles = d.create_particles(d.config)
         m0 = d.particles.mass.sum()
-        p0 = (d.particles.mass[:, None] * d.particles.velocity).sum(axis=0)
         n0 = len(d.particles)
         for it in range(5):
             d.run_iteration(it)

@@ -6,7 +6,7 @@ import pytest
 from repro.apps.gravity import CentroidData, compute_centroid_arrays
 from repro.core import accumulate_data, segment_sums
 from repro.core.data import AdditiveArrayData, combine_sequence, extract_additive
-from repro.particles import plummer_sphere, uniform_cube
+from repro.particles import plummer_sphere
 from repro.trees import build_tree
 
 

@@ -3,10 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.apps.gravity import GravityDriver, GravityVisitor, compute_centroid_arrays
+from repro.apps.gravity import GravityDriver
 from repro.core import Configuration, Recorder
 from repro.particles import clustered_clumps
-from repro.trees import Tree
 
 
 class CountingRecorder(Recorder):

@@ -6,7 +6,7 @@ import pytest
 from repro.apps.fof import UnionFind, brute_force_fof, friends_of_friends
 from repro.apps.gravity import compute_gravity, direct_potential
 from repro.decomp import SfcDecomposer, estimate_build_times
-from repro.particles import ParticleSet, clustered_clumps, uniform_cube
+from repro.particles import clustered_clumps, uniform_cube
 from repro.trees import build_tree
 
 

@@ -13,7 +13,7 @@ import numpy as np
 import pytest
 
 from repro.apps.gravity import CentroidData, GravityDriver
-from repro.core import Configuration, Visitor, accumulate_data, get_traverser
+from repro.core import Visitor, accumulate_data, get_traverser
 from repro.particles import ParticleSet, uniform_cube
 from repro.trees import TreeType, build_tree
 

@@ -12,7 +12,6 @@ from repro.apps.gravity import (
 )
 from repro.core import (
     InteractionLists,
-    Recorder,
     TraversalStats,
     Visitor,
     get_traverser,

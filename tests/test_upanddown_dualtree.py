@@ -3,10 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.apps.gravity import GravityVisitor, compute_centroid_arrays, pairwise_accel
+from repro.apps.gravity import GravityVisitor, compute_centroid_arrays
 from repro.core import Visitor, get_traverser
 from repro.particles import uniform_cube
-from repro.trees import SpatialNode, build_tree
+from repro.trees import build_tree
 
 
 @pytest.fixture(scope="module")
