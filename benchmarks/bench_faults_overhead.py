@@ -1,0 +1,84 @@
+"""Fault-injection overhead: the Fig 10 gravity DES with the injector
+disabled, armed-but-silent, and firing at increasing drop rates.
+
+Two acceptance bars:
+
+* **disabled ≈ free** — passing no fault plan runs the exact seed code
+  path (no timers armed), and an armed-but-silent plan (all probabilities
+  zero) must stay within noise of it while producing bit-identical results;
+* **recovery cost scales with the drop rate** — each lost leg costs one
+  timeout window plus a re-send, so simulated time grows monotonically-ish
+  with the drop probability while the run still completes.
+
+Run ``pytest benchmarks/bench_faults_overhead.py --benchmark-only -s``.
+"""
+
+from repro.bench import build_gravity_workload, print_banner
+from repro.cache import WAITFREE
+from repro.faults import FaultPlan, parse_fault_spec
+from repro.runtime import STAMPEDE2, simulate_traversal
+
+N_PROC = 16
+WORKERS = 24
+
+
+def _workload():
+    return build_gravity_workload(
+        distribution="clustered", n=25_000, n_partitions=1024,
+        n_subtrees=1024, shared_branch_levels=4,
+    ).workload
+
+
+def _run(workload, faults=None):
+    return simulate_traversal(
+        workload, machine=STAMPEDE2, n_processes=N_PROC,
+        workers_per_process=WORKERS, cache_model=WAITFREE, faults=faults,
+    )
+
+
+def test_des_faults_disabled(benchmark):
+    """Seed configuration: no injector, no timers, the PR-1 baseline."""
+    workload = _workload()
+    result = benchmark.pedantic(lambda: _run(workload), rounds=3, iterations=1)
+    assert result.faults is None
+
+
+def test_des_faults_armed_but_silent(benchmark):
+    """A zero-probability plan arms the timeout machinery on every request
+    but never fires; results must be bit-identical to the baseline."""
+    workload = _workload()
+    baseline = _run(workload)
+    result = benchmark.pedantic(
+        lambda: _run(workload, faults=FaultPlan(seed=0)), rounds=3, iterations=1
+    )
+    assert result.time == baseline.time
+    assert result.events == baseline.events
+    assert all(v == 0 for v in result.faults.to_dict().values())
+
+
+def test_des_retry_slowdown_vs_drop_rate(benchmark):
+    """Sweep the drop probability: the simulated iteration keeps completing
+    while retries/timeouts (and usually the makespan) grow with the rate."""
+    workload = _workload()
+    baseline = _run(workload)
+
+    result = benchmark.pedantic(
+        lambda: _run(workload, faults=parse_fault_spec("drop=0.05,seed=3")),
+        rounds=3, iterations=1,
+    )
+
+    print_banner("retry slowdown vs drop rate")
+    print(f"{'drop':>6} {'sim ms':>10} {'slowdown':>9} "
+          f"{'drops':>6} {'retries':>8} {'timeouts':>9}")
+    print(f"{0.0:6.2f} {baseline.time * 1e3:10.3f} {1.0:9.2f}"
+          f" {0:>6} {0:>8} {0:>9}")
+    prev_retries = 0
+    for rate in (0.01, 0.02, 0.05, 0.1):
+        r = _run(workload, faults=parse_fault_spec(f"drop={rate},seed=3"))
+        c = r.faults.to_dict()
+        print(f"{rate:6.2f} {r.time * 1e3:10.3f} {r.time / baseline.time:9.2f} "
+              f"{c['drops']:>6} {c['retries']:>8} {c['timeouts']:>9}")
+        assert c["retries"] >= prev_retries, "higher drop rate, fewer retries?"
+        prev_retries = c["retries"]
+
+    assert result.faults.drops > 0

@@ -35,6 +35,62 @@ def _add_telemetry(p: argparse.ArgumentParser) -> None:
                    help="print a telemetry summary after the run")
 
 
+def _add_faults(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help="inject faults, e.g. 'drop=0.05,fail=0.1,seed=3' "
+             "(keys: drop, dup, jitter, fail, straggler=FxS, crash=P@R, "
+             "seed, retries, timeout, backoff)")
+
+
+def _fault_plan_from_args(args):
+    """Parse ``--faults`` into a FaultPlan (None when the flag is absent)."""
+    if not getattr(args, "faults", None):
+        return None
+    from .faults import parse_fault_spec
+
+    return parse_fault_spec(args.faults)
+
+
+def _chaos_probe(tree, plan, n_processes: int = 4) -> None:
+    """Drive the threaded software cache over ``tree`` under ``plan``:
+    every placeholder is filled despite transient failures, and the
+    wait-free validity invariant is checked at the end.  Used by the
+    subcommands whose main computation has no distributed phase."""
+    from .cache import SharedTreeCache
+    from .decomp import SfcDecomposer, decompose
+    from .faults import as_injector
+
+    parts = SfcDecomposer().assign(tree.particles, n_processes)
+    dec = decompose(tree, parts, n_subtrees=2 * n_processes)
+    injector = as_injector(plan)
+    cache = SharedTreeCache(
+        tree, dec.node_process(), process=0, nodes_per_request=2,
+        injector=injector,
+    )
+    # Fill every reachable placeholder, retrying over transient failures.
+    for _ in range(10_000):
+        pending = []
+        stack = [cache.root]
+        while stack:
+            e = stack.pop()
+            if e.is_placeholder:
+                continue
+            for i, c in enumerate(e.children):
+                if c.is_placeholder:
+                    pending.append((e, i))
+                else:
+                    stack.append(c)
+        if not pending:
+            break
+        for parent, slot in pending:
+            cache.request_fill(parent, slot)
+    cache.validate()
+    print(f"fault probe: cache valid after chaos fill "
+          f"(requests={cache.requests_sent}, fills={cache.fills_applied}, "
+          f"failed={cache.fills_failed}, plan='{plan.describe()}')")
+
+
 def _telemetry_from_args(args):
     """Install a live telemetry session when any telemetry flag was given."""
     if not (args.trace or args.metrics or args.report):
@@ -75,10 +131,12 @@ def cmd_gravity(args) -> int:
 
     p = clustered_clumps(args.n, seed=args.seed)
     telemetry = _telemetry_from_args(args)
-    if telemetry is not None:
+    fault_plan = _fault_plan_from_args(args)
+    if telemetry is not None or fault_plan is not None:
         # Run the full Driver pipeline so the trace shows all seven
         # ``run_iteration`` phases (splitters ... rebalance), not just the
-        # bare traversal.
+        # bare traversal.  Fault runs need the Driver too: the fault plan
+        # replays each iteration's traversal through the DES comm model.
         from .apps.gravity import GravityDriver
         from .core import Configuration
 
@@ -93,10 +151,24 @@ def cmd_gravity(args) -> int:
 
         driver = Main(cfg, theta=args.theta, softening=args.softening,
                       with_quadrupole=args.quadrupole)
-        driver.enable_telemetry(telemetry)
+        if telemetry is not None:
+            driver.enable_telemetry(telemetry)
+        if fault_plan is not None:
+            driver.enable_faults(fault_plan)
         t0 = time.time()
         driver.run()
         print(f"traversal: {time.time() - t0:.2f}s  {driver.last_stats.as_dict()}")
+        for rep in driver.reports:
+            cs = rep.comm_sim
+            if not cs:
+                continue
+            if cs.get("failed"):
+                print(f"iteration {rep.iteration}: comm sim FAILED "
+                      f"({cs.get('reason')}, process={cs.get('process')}, "
+                      f"attempts={cs.get('attempts')}) counters={cs.get('counters')}")
+            else:
+                print(f"iteration {rep.iteration}: comm sim {cs['time'] * 1e3:.3f} ms "
+                      f"faults={cs.get('faults')}")
         if args.check and args.n <= 20_000:
             exact = direct_accelerations(driver.particles, softening=args.softening)
             print("error vs direct sum: "
@@ -124,6 +196,9 @@ def cmd_sph(args) -> int:
     telemetry = _telemetry_from_args(args)
     p = uniform_cube(args.n, seed=args.seed)
     tree = build_tree(p, tree_type=args.tree, bucket_size=args.bucket)
+    fault_plan = _fault_plan_from_args(args)
+    if fault_plan is not None:
+        _chaos_probe(tree, fault_plan)
     st = compute_density_knn(tree, k=args.k)
     print(f"kNN density: median rho {np.median(st.density):.4f}, "
           f"pp={st.stats.pp_interactions:,}")
@@ -143,6 +218,9 @@ def cmd_knn(args) -> int:
     telemetry = _telemetry_from_args(args)
     p = clustered_clumps(args.n, seed=args.seed)
     tree = build_tree(p, tree_type=args.tree, bucket_size=args.bucket)
+    fault_plan = _fault_plan_from_args(args)
+    if fault_plan is not None:
+        _chaos_probe(tree, fault_plan)
     t0 = time.time()
     res = knn_search(tree, k=args.k)
     print(f"kNN k={args.k}: {time.time() - t0:.2f}s, "
@@ -169,6 +247,9 @@ def cmd_disk(args) -> int:
     telemetry = _telemetry_from_args(args)
     if telemetry is not None:
         d.enable_telemetry(telemetry)
+    fault_plan = _fault_plan_from_args(args)
+    if fault_plan is not None:
+        d.enable_faults(fault_plan)
     t0 = time.time()
     d.run()
     print(f"{args.steps} steps in {time.time() - t0:.1f}s; "
@@ -182,8 +263,15 @@ def cmd_correlation(args) -> int:
     from .particles import clustered_clumps
 
     telemetry = _telemetry_from_args(args)
+    particles = clustered_clumps(args.n, seed=args.seed)
+    fault_plan = _fault_plan_from_args(args)
+    if fault_plan is not None:
+        from .trees import build_tree
+
+        _chaos_probe(build_tree(particles, tree_type="oct", bucket_size=16),
+                     fault_plan)
     edges = np.geomspace(args.rmin, args.rmax, args.bins + 1)
-    res = two_point_correlation(clustered_clumps(args.n, seed=args.seed), edges)
+    res = two_point_correlation(particles, edges)
     print(f"{'r_lo':>8} {'r_hi':>8} {'xi':>10} {'DD':>10}")
     for i in range(len(res.xi)):
         print(f"{edges[i]:8.4f} {edges[i + 1]:8.4f} {res.xi[i]:10.3f} {res.dd[i]:10,}")
@@ -203,13 +291,23 @@ def cmd_scale(args) -> int:
                                 n_subtrees=args.partitions, seed=args.seed)
     model = CACHE_MODELS[args.cache]
     workers = args.workers or machine.workers_per_node
-    print(f"{args.machine}, {workers} workers/process, cache={args.cache}")
+    fault_plan = _fault_plan_from_args(args)
+    print(f"{args.machine}, {workers} workers/process, cache={args.cache}"
+          + (f", faults='{fault_plan.describe()}'" if fault_plan else ""))
+    from .faults import IterationFailure
+
     for cores in args.cores:
-        r = simulate_traversal(gw.workload, machine=machine,
-                               n_processes=max(cores // workers, 1),
-                               workers_per_process=workers, cache_model=model)
+        try:
+            r = simulate_traversal(gw.workload, machine=machine,
+                                   n_processes=max(cores // workers, 1),
+                                   workers_per_process=workers, cache_model=model,
+                                   faults=fault_plan)
+        except IterationFailure as exc:
+            print(f"  {cores:>7} cores: FAILED ({exc}) counters={exc.counters.to_dict()}")
+            continue
+        extra = f", faults={r.faults.to_dict()}" if r.faults is not None else ""
         print(f"  {cores:>7} cores: {r.time * 1e3:9.3f} ms, "
-              f"{r.requests:,} requests, {r.bytes_moved / 1e6:.1f} MB")
+              f"{r.requests:,} requests, {r.bytes_moved / 1e6:.1f} MB{extra}")
     _finish_telemetry(telemetry, args)
     return 0
 
@@ -229,6 +327,7 @@ def main(argv=None) -> int:
     g.add_argument("--iterations", type=int, default=1,
                    help="driver iterations (telemetry runs only)")
     _add_telemetry(g)
+    _add_faults(g)
     g.set_defaults(fn=cmd_gravity)
 
     s = sub.add_parser("sph", help="SPH density estimation")
@@ -236,12 +335,14 @@ def main(argv=None) -> int:
     s.add_argument("--k", type=int, default=32)
     s.add_argument("--baseline", action="store_true", help="run Gadget-style too")
     _add_telemetry(s)
+    _add_faults(s)
     s.set_defaults(fn=cmd_sph)
 
     k = sub.add_parser("knn", help="k-nearest-neighbour search")
     _add_common(k, 20_000)
     k.add_argument("--k", type=int, default=8)
     _add_telemetry(k)
+    _add_faults(k)
     k.set_defaults(fn=cmd_knn)
 
     d = sub.add_parser("disk", help="planetesimal disk with collisions")
@@ -251,6 +352,7 @@ def main(argv=None) -> int:
     d.add_argument("--dt", type=float, default=0.02)
     d.add_argument("--radius", type=float, default=2.5e-3)
     _add_telemetry(d)
+    _add_faults(d)
     d.set_defaults(fn=cmd_disk)
 
     c = sub.add_parser("correlation", help="two-point correlation function")
@@ -260,6 +362,7 @@ def main(argv=None) -> int:
     c.add_argument("--rmax", type=float, default=1.0)
     c.add_argument("--bins", type=int, default=8)
     _add_telemetry(c)
+    _add_faults(c)
     c.set_defaults(fn=cmd_correlation)
 
     sc = sub.add_parser("scale", help="simulated strong-scaling sweep")
@@ -272,6 +375,7 @@ def main(argv=None) -> int:
     sc.add_argument("--workers", type=int, default=0, help="workers per process (0 = full node)")
     sc.add_argument("--cores", type=int, nargs="+", default=[24, 96, 384, 1536])
     _add_telemetry(sc)
+    _add_faults(sc)
     sc.set_defaults(fn=cmd_scale)
 
     args = parser.parse_args(argv)

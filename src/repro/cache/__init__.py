@@ -15,6 +15,7 @@ Two complementary pieces:
 
 from .models import (
     CacheModel,
+    RetryPolicy,
     WAITFREE,
     XWRITE,
     SEQUENTIAL,
@@ -27,6 +28,7 @@ from .stats import FetchStats, fetch_statistics, assign_fetch_groups
 
 __all__ = [
     "CacheModel",
+    "RetryPolicy",
     "WAITFREE",
     "XWRITE",
     "SEQUENTIAL",

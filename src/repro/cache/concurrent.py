@@ -53,6 +53,9 @@ class CacheEntry:
     _req_lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
     #: callbacks parked until this placeholder is filled
     _waiters: list[Callable[[], None]] = field(default_factory=list, repr=False)
+    #: set (under ``_req_lock``) once the replacement subtree is published;
+    #: late waiters check it instead of parking on a drained list
+    _filled: bool = False
 
     def try_claim_request(self) -> bool:
         """Atomically set the requested flag; True for the first claimant."""
@@ -61,6 +64,37 @@ class CacheEntry:
                 return False
             self._requested = True
             return True
+
+    def park(self, on_resume: Callable[[], None]) -> bool:
+        """Park ``on_resume`` until the fill publishes; returns False (and
+        does not park) when the fill already completed — the caller must
+        resume immediately.  The check-and-append is atomic under
+        ``_req_lock`` so a waiter can never land on a list the filler has
+        already drained (the lost-waiter race)."""
+        with self._req_lock:
+            if self._filled:
+                return False
+            self._waiters.append(on_resume)
+            return True
+
+    def complete_fill(self) -> list[Callable[[], None]]:
+        """Mark the fill published and atomically take the parked waiters
+        (step 5).  Callers invoke the returned callbacks outside the lock."""
+        with self._req_lock:
+            self._filled = True
+            waiters = self._waiters
+            self._waiters = []
+        return waiters
+
+    def fail_fill(self) -> list[Callable[[], None]]:
+        """A transient fill failure: re-arm the once-only request flag so
+        the next toucher re-sends, and take the parked waiters so they can
+        be re-driven (each will hit the placeholder again and retry)."""
+        with self._req_lock:
+            self._requested = False
+            waiters = self._waiters
+            self._waiters = []
+        return waiters
 
 
 class SharedTreeCache:
@@ -81,6 +115,12 @@ class SharedTreeCache:
     nodes_per_request:
         How many descendant levels a fill ships (the paper's
         "user-specified number of its descendants").
+    injector:
+        Optional :class:`~repro.faults.FaultPlan` or
+        :class:`~repro.faults.FaultInjector`; when its plan has a nonzero
+        ``fill_failure`` probability, fills fail transiently — the
+        placeholder re-arms its request flag and parked traversals are
+        re-driven so they retry.
     """
 
     def __init__(
@@ -91,6 +131,7 @@ class SharedTreeCache:
         payload_fn: Callable[[int], Any] | None = None,
         nodes_per_request: int = 3,
         shared_branch_levels: int = 3,
+        injector=None,
     ) -> None:
         self.tree = tree
         self.node_process = np.asarray(node_process)
@@ -98,12 +139,20 @@ class SharedTreeCache:
         self.payload_fn = payload_fn or (lambda i: None)
         self.nodes_per_request = nodes_per_request
         self.shared_branch_levels = shared_branch_levels
+        if injector is not None:
+            # Deferred import: repro.faults imports repro.cache.models for
+            # RetryPolicy, which pulls in this module via cache/__init__.
+            from ..faults import as_injector
+
+            injector = as_injector(injector)
+        self._injector = injector
         #: process-level hash table of local subtree roots (paper Fig 2,
         #: bottom-left).  Locked during build, read-only during traversal.
         self._local_roots: dict[int, CacheEntry] = {}
         self._build_lock = threading.Lock()
         self.requests_sent = 0
         self.fills_applied = 0
+        self.fills_failed = 0
         self._stats_lock = threading.Lock()
         self.root = self._bootstrap()
 
@@ -180,12 +229,26 @@ class SharedTreeCache:
             if on_resume:
                 on_resume()
             return False
-        if on_resume:
-            placeholder._waiters.append(on_resume)
+        if on_resume and not placeholder.park(on_resume):
+            # The fill published between our child-slot read and the park:
+            # the waiter list is already drained, so resume directly rather
+            # than parking forever (the lost-waiter race).
+            on_resume()
+            return False
         if not placeholder.try_claim_request():
             return False
         with self._stats_lock:
             self.requests_sent += 1
+        if self._injector is not None and self._injector.fill_fails():
+            # Transient fill failure: the placeholder stays a placeholder,
+            # the request flag re-arms so the next toucher (including our
+            # own re-driven waiters) re-sends, and parked traversals are
+            # released to retry instead of waiting on a dead request.
+            with self._stats_lock:
+                self.fills_failed += 1
+            for w in placeholder.fail_fill():
+                w()
+            return False
         # Step 1: home process serialises the node + descendants (here we
         # read them straight from the global tree).
         shipped = self._ship(placeholder.node_index, self.nodes_per_request)
@@ -198,10 +261,10 @@ class SharedTreeCache:
         parent.children = tuple(new_children)
         with self._stats_lock:
             self.fills_applied += 1
-        # Step 5: resume parked traversals.
-        waiters = placeholder._waiters
-        placeholder._waiters = []
-        for w in waiters:
+        # Step 5: resume parked traversals — the filled flag flips and the
+        # waiter list drains atomically, so no concurrent park can slip
+        # between them.
+        for w in placeholder.complete_fill():
             w()
         return True
 

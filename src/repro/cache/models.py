@@ -22,7 +22,48 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["CacheModel", "WAITFREE", "XWRITE", "SEQUENTIAL", "PER_THREAD", "SINGLE_WRITER", "CACHE_MODELS"]
+__all__ = [
+    "CacheModel",
+    "RetryPolicy",
+    "WAITFREE",
+    "XWRITE",
+    "SEQUENTIAL",
+    "PER_THREAD",
+    "SINGLE_WRITER",
+    "CACHE_MODELS",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout + exponential-backoff semantics for cache fetch requests.
+
+    When fault injection is armed, every outstanding request carries a
+    cancellable timeout timer.  The first timeout fires after
+    ``timeout_factor`` × the request's fault-free round-trip estimate
+    (latency out + serialize + send + latency back + insert), and each
+    retry multiplies the window by ``backoff``.  After ``max_attempts``
+    sends the runtime stops retrying and raises a structured
+    :class:`~repro.faults.IterationFailure` instead of hanging.  The
+    generous default factor keeps spurious timeouts out of fault-free
+    queueing delays while still bounding recovery latency.
+    """
+
+    max_attempts: int = 6
+    timeout_factor: float = 25.0
+    backoff: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.timeout_factor <= 0:
+            raise ValueError(f"timeout_factor must be > 0, got {self.timeout_factor}")
+        if self.backoff < 1:
+            raise ValueError(f"backoff must be >= 1, got {self.backoff}")
+
+    def timeout_for(self, attempt: int, rtt_estimate: float) -> float:
+        """Timeout window for the given 0-based attempt number."""
+        return rtt_estimate * self.timeout_factor * self.backoff ** attempt
 
 
 @dataclass(frozen=True)

@@ -130,6 +130,11 @@ class IterationReport:
     n_shared_particles: int
     rebalanced: bool = False
     user: dict[str, Any] = field(default_factory=dict)
+    #: fault-injected communication simulation of this iteration's
+    #: traversal (set when the driver has a fault plan); on a completed
+    #: sim this is ``SimResult.to_dict()``, on retry exhaustion it is the
+    #: structured ``IterationFailure.to_dict()`` with ``"failed": True``.
+    comm_sim: dict[str, Any] | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-serializable view (numpy arrays/scalars converted), so
@@ -143,6 +148,7 @@ class IterationReport:
             "n_shared_particles": int(self.n_shared_particles),
             "rebalanced": bool(self.rebalanced),
             "user": _jsonable(self.user),
+            "comm_sim": _jsonable(self.comm_sim),
         }
 
 
@@ -162,6 +168,7 @@ class Driver:
         self._pending_assignment: np.ndarray | None = None
         self.telemetry: Telemetry = NULL_TELEMETRY
         self._telemetry_lists: InteractionLists | None = None
+        self.fault_plan = None
 
     # -- user hooks ---------------------------------------------------------
     def configure(self, config: Configuration) -> None:
@@ -206,6 +213,24 @@ class Driver:
         if install_global:
             set_telemetry(self.telemetry if self.telemetry.enabled else None)
         return self.telemetry
+
+    def enable_faults(self, plan) -> None:
+        """Attach a fault plan (a :class:`~repro.faults.FaultPlan` or a
+        spec string for :func:`~repro.faults.parse_fault_spec`).
+
+        Every subsequent iteration replays its recorded traversal through
+        the DES communication model with the plan's faults injected (one
+        simulated process per partition) and stores the outcome — simulated
+        time, drop/retry/timeout counters, or the structured failure when
+        retries are exhausted — in :attr:`IterationReport.comm_sim`.  The
+        real traversal results are never perturbed: faults degrade the
+        simulated schedule, not the physics.
+        """
+        from ..faults import parse_fault_spec
+
+        if isinstance(plan, str):
+            plan = parse_fault_spec(plan)
+        self.fault_plan = plan
 
     def run(self) -> list[IterationReport]:
         self.configure(self.config)
@@ -284,7 +309,10 @@ class Driver:
                 self.last_stats = TraversalStats()
                 want_lb = cfg.lb_period > 0 and (iteration + 1) % cfg.lb_period == 0
                 self._load_recorder = BucketLoadRecorder(self.tree) if want_lb else None
-                self._telemetry_lists = InteractionLists() if tel.enabled else None
+                # Interaction lists feed the telemetry cache statistics and
+                # (when a fault plan is attached) the faulted comm replay.
+                want_lists = tel.enabled or self.fault_plan is not None
+                self._telemetry_lists = InteractionLists() if want_lists else None
                 self.traversal(iteration)
 
             # 6. Post-traversal physics.
@@ -307,6 +335,12 @@ class Driver:
                     self._pending_assignment = new_parts
                 self._load_recorder = None
 
+            # 8. Faulted communication replay (only when a plan is attached).
+            comm_sim = None
+            if self.fault_plan is not None:
+                with tracer.span("comm_sim", cat="driver.phase"):
+                    comm_sim = self._simulate_comm(iteration)
+
             report = IterationReport(
                 iteration=iteration,
                 stats=self.last_stats,
@@ -315,6 +349,7 @@ class Driver:
                 n_split_buckets=self.decomposition.n_split_buckets,
                 n_shared_particles=self.decomposition.n_shared_particles,
                 rebalanced=rebalanced,
+                comm_sim=comm_sim,
             )
             self.reports.append(report)
             if tel.enabled:
@@ -322,6 +357,47 @@ class Driver:
                 self._collect_cache_metrics(iteration)
             self._telemetry_lists = None
         return report
+
+    def _simulate_comm(self, iteration: int) -> dict[str, Any] | None:
+        """Replay the iteration's recorded traversal through the DES with
+        the attached fault plan.  Completes gracefully either way: a
+        finished sim returns its summary (time, fault counters); exhausted
+        retries return the structured failure instead of raising — the
+        driver's real results are already in hand, only the simulated
+        schedule degrades."""
+        lists = self._telemetry_lists
+        if lists is None or not lists.visited or self.decomposition is None:
+            return None
+        from ..faults import IterationFailure
+        from ..runtime import simulate_traversal, workload_from_traversal
+
+        cfg = self.config
+        wl = workload_from_traversal(
+            self.tree, self.decomposition, lists,
+            nodes_per_request=cfg.nodes_per_request,
+            shared_branch_levels=cfg.shared_branch_levels,
+        )
+        try:
+            result = simulate_traversal(
+                wl,
+                n_processes=cfg.num_partitions,
+                faults=self.fault_plan,
+                telemetry=self.telemetry if self.telemetry.enabled else None,
+            )
+        except IterationFailure as exc:
+            out = exc.to_dict()
+            out["failed"] = True
+            if self.telemetry.enabled:
+                self.telemetry.metrics.absorb_fault_counters(
+                    exc.counters, iteration=iteration
+                )
+                self.telemetry.metrics.counter(
+                    "faults.iteration_failures", iteration=iteration
+                ).inc()
+            return out
+        out = result.to_dict()
+        out["failed"] = False
+        return out
 
     def _collect_cache_metrics(self, iteration: int) -> None:
         """Software-cache counters for the traversals this iteration ran:

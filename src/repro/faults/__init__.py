@@ -1,0 +1,34 @@
+"""Fault injection and recovery semantics for the runtime layers.
+
+The paper's wait-free cache claim — the software cache stays "in a valid
+state at all times" (§II-B-1) — is only meaningful if the runtime also
+survives the *unhappy* paths a message-driven N-body code actually sees:
+lost and duplicated messages, latency jitter and reordering, transient
+fill failures, straggler processes, and process crash-with-restart.  This
+package provides:
+
+* :class:`FaultPlan` — a frozen, seed-driven description of those faults
+  (:func:`parse_fault_spec` reads the compact ``--faults`` CLI grammar);
+* :class:`FaultInjector` — the per-run decision engine with deterministic
+  per-fault-class PRNG streams and :class:`FaultCounters`;
+* :class:`IterationFailure` — the structured "retries exhausted" error the
+  DES raises instead of hanging.
+
+Consumers: :class:`~repro.runtime.model.TraversalSim` (message faults,
+timeouts, exponential-backoff retries, crash/straggler modelling) and
+:class:`~repro.cache.concurrent.SharedTreeCache` (transient fill failures
+against real threads).  See ``docs/robustness.md`` for the full model.
+"""
+
+from .plan import FaultPlan, NO_FAULTS, parse_fault_spec
+from .injector import FaultCounters, FaultInjector, IterationFailure, as_injector
+
+__all__ = [
+    "FaultPlan",
+    "NO_FAULTS",
+    "parse_fault_spec",
+    "FaultCounters",
+    "FaultInjector",
+    "IterationFailure",
+    "as_injector",
+]

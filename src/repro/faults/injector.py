@@ -1,0 +1,195 @@
+"""The fault injector: turns a :class:`~repro.faults.plan.FaultPlan` into
+deterministic per-event decisions, and counts everything it does.
+
+Design rules:
+
+* **Determinism** — every fault class draws from its own PRNG stream
+  (spawned from the plan seed), so enabling one class never perturbs the
+  decisions of another, and the same plan replays bit-identically.
+* **Zero-probability short-circuit** — a decision whose probability is 0
+  returns without touching its stream, so a plan with ``drop=0`` produces
+  exactly the decision sequence of a plan without drops at all.
+* **Thread safety** — the DES is single-threaded, but the same injector
+  type drives the real-thread :class:`~repro.cache.concurrent.SharedTreeCache`
+  chaos tests; the fill-failure stream is therefore lock-protected.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .plan import FaultPlan
+
+__all__ = ["FaultCounters", "FaultInjector", "IterationFailure", "as_injector"]
+
+
+@dataclass
+class FaultCounters:
+    """What the injector (and the runtime's recovery machinery) did."""
+
+    drops: int = 0
+    duplicates: int = 0
+    fill_failures: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    crash_restarts: int = 0
+    stragglers: int = 0
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "drops": self.drops,
+            "duplicates": self.duplicates,
+            "fill_failures": self.fill_failures,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "crash_restarts": self.crash_restarts,
+            "stragglers": self.stragglers,
+        }
+
+
+class IterationFailure(RuntimeError):
+    """A request exhausted its retry budget: the iteration cannot complete.
+
+    This is the structured alternative to a silent hang — it names the
+    requesting process, the fetch group, how many sends were attempted, the
+    simulated time of surrender, and carries the fault counters accumulated
+    so far, so callers (Driver, CLI, tests) can degrade gracefully instead
+    of parking forever.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        process: int,
+        group: int,
+        attempts: int,
+        sim_time: float,
+        counters: FaultCounters | None = None,
+    ) -> None:
+        super().__init__(
+            f"{reason} (process={process}, group={group}, "
+            f"attempts={attempts}, sim_time={sim_time:.6f}s)"
+        )
+        self.reason = reason
+        self.process = process
+        self.group = group
+        self.attempts = attempts
+        self.sim_time = sim_time
+        self.counters = counters or FaultCounters()
+
+    def to_dict(self) -> dict:
+        return {
+            "reason": self.reason,
+            "process": self.process,
+            "group": self.group,
+            "attempts": self.attempts,
+            "sim_time": self.sim_time,
+            "counters": self.counters.to_dict(),
+        }
+
+
+@dataclass
+class _CrashEvent:
+    """One planned process crash."""
+
+    process: int
+    at_fraction: float  # crash time as a fraction of the estimated makespan
+    restart_fraction: float = field(default=0.25)
+
+
+class FaultInjector:
+    """Stateful decision engine for one run, built from a frozen plan."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.counters = FaultCounters()
+        streams = np.random.SeedSequence(plan.seed).spawn(5)
+        self._drop_rng = np.random.Generator(np.random.PCG64(streams[0]))
+        self._dup_rng = np.random.Generator(np.random.PCG64(streams[1]))
+        self._jitter_rng = np.random.Generator(np.random.PCG64(streams[2]))
+        self._fail_rng = np.random.Generator(np.random.PCG64(streams[3]))
+        self._proc_rng = np.random.Generator(np.random.PCG64(streams[4]))
+        self._fail_lock = threading.Lock()
+
+    # -- message-level decisions (DES, single-threaded) ----------------------
+    def drop_message(self) -> bool:
+        """Lose this message leg?"""
+        if self.plan.drop <= 0:
+            return False
+        if self._drop_rng.random() < self.plan.drop:
+            self.counters.drops += 1
+            return True
+        return False
+
+    def duplicate_message(self) -> bool:
+        """Deliver this message leg twice?"""
+        if self.plan.duplicate <= 0:
+            return False
+        if self._dup_rng.random() < self.plan.duplicate:
+            self.counters.duplicates += 1
+            return True
+        return False
+
+    def jittered(self, latency: float) -> float:
+        """Latency with multiplicative jitter (identity when jitter=0)."""
+        if self.plan.jitter <= 0:
+            return latency
+        return latency * (1.0 + self.plan.jitter * self._jitter_rng.random())
+
+    # -- fill-level decisions (also used from real threads) ------------------
+    def fill_fails(self) -> bool:
+        """Does this fill fail transiently after its data arrived?"""
+        if self.plan.fill_failure <= 0:
+            return False
+        with self._fail_lock:
+            failed = self._fail_rng.random() < self.plan.fill_failure
+        if failed:
+            self.counters.fill_failures += 1
+        return failed
+
+    # -- per-process draws (made once, up front) -----------------------------
+    def straggler_factors(self, n_processes: int) -> list[float]:
+        """Service-time multiplier per process (1.0 = healthy)."""
+        if self.plan.straggler_fraction <= 0:
+            return [1.0] * n_processes
+        factors = []
+        for _ in range(n_processes):
+            if self._proc_rng.random() < self.plan.straggler_fraction:
+                factors.append(self.plan.straggler_slowdown)
+                self.counters.stragglers += 1
+            else:
+                factors.append(1.0)
+        return factors
+
+    def crash_events(self, n_processes: int) -> list[_CrashEvent]:
+        """Planned crashes (crash time as a makespan fraction in (0, 1))."""
+        if self.plan.crash <= 0:
+            return []
+        events = []
+        for p in range(n_processes):
+            if self._proc_rng.random() < self.plan.crash:
+                events.append(
+                    _CrashEvent(
+                        process=p,
+                        at_fraction=float(self._proc_rng.uniform(0.05, 0.95)),
+                        restart_fraction=self.plan.crash_restart,
+                    )
+                )
+        return events
+
+
+def as_injector(faults: "FaultPlan | FaultInjector | None") -> FaultInjector | None:
+    """Coerce a plan (or an already-built injector, or None) to an injector.
+
+    Passing a plan builds a fresh injector, so repeated runs from the same
+    plan are independent and each deterministic; passing an injector reuses
+    its streams and counters (for callers that aggregate across phases).
+    """
+    if faults is None:
+        return None
+    if isinstance(faults, FaultInjector):
+        return faults
+    return FaultInjector(faults)

@@ -197,6 +197,13 @@ class MetricsRegistry:
         self.counter("memsim.store_accesses", **labels).inc(stats.store_accesses)
         self.counter("memsim.store_misses", **labels).inc(stats.store_misses)
 
+    def absorb_fault_counters(self, counters, **labels: Any) -> None:
+        """Fold a :class:`~repro.faults.FaultCounters` into ``faults.*``
+        counters (drops, duplicates, fill failures, retries, timeouts,
+        crash restarts, stragglers)."""
+        for name, value in counters.to_dict().items():
+            self.counter(f"faults.{name}", **labels).inc(value)
+
     def absorb_iteration_report(self, report) -> None:
         """Fold one :class:`IterationReport` into driver gauges/counters."""
         it = str(report.iteration)
@@ -260,6 +267,9 @@ class NullMetricsRegistry:
         pass
 
     def absorb_cache_stats(self, stats, level: str, **labels: Any) -> None:
+        pass
+
+    def absorb_fault_counters(self, counters, **labels: Any) -> None:
         pass
 
     def absorb_iteration_report(self, report) -> None:

@@ -18,7 +18,7 @@ synchronisation and idle time* — quantities a discrete-event simulation
    (:mod:`repro.runtime.tracing`, Fig 9).
 """
 
-from .des import Simulator, WorkerPool, FifoResource
+from .des import Simulator, Timer, WorkerPool, FifoResource
 from .machine import MachineSpec, SUMMIT, STAMPEDE2, BRIDGES2, MACHINES
 from .tracing import ActivityTrace, utilization_profile
 from .workload import BucketWork, WorkloadSpec, workload_from_traversal, CostModel
@@ -26,6 +26,7 @@ from .model import TraversalSim, SimResult, simulate_traversal
 
 __all__ = [
     "Simulator",
+    "Timer",
     "WorkerPool",
     "FifoResource",
     "MachineSpec",

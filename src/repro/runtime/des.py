@@ -14,10 +14,52 @@ Three primitives cover everything the runtime model needs:
 from __future__ import annotations
 
 import heapq
+import math
 from collections import deque
 from typing import Callable
 
-__all__ = ["Simulator", "FifoResource", "WorkerPool"]
+__all__ = ["Simulator", "Timer", "FifoResource", "WorkerPool"]
+
+
+def _check_service_time(service_time: float) -> None:
+    """Negative or non-finite service times corrupt the clock or the
+    backlog accounting silently; reject them at the submission boundary."""
+    if not math.isfinite(service_time):
+        raise ValueError(f"non-finite service time {service_time}")
+    if service_time < 0:
+        raise ValueError(f"negative service time {service_time}")
+
+
+class Timer:
+    """Handle for one scheduled event; ``cancel()`` prevents it firing.
+
+    Cancellation is lazy (the heap entry stays put) but *clock-invisible*:
+    the event loop discards cancelled entries without advancing ``now`` or
+    counting an event, so a run whose timers all get cancelled is
+    bit-identical to a run that never scheduled them.  This is what lets
+    the fault layer arm a timeout per request without perturbing fault-free
+    results.
+
+    ``silent`` timers additionally keep *firing* out of the public event
+    count (they still advance the clock — causality requires it — and land
+    in ``Simulator.silent_events``).  Timeout probes that fire only to
+    discover "the response is still queued, wait longer" use this so a
+    fault-free run with an armed injector reports the same
+    ``events_processed`` as one without.
+    """
+
+    __slots__ = ("cancelled", "silent")
+
+    def __init__(self, silent: bool = False) -> None:
+        self.cancelled = False
+        self.silent = silent
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    @property
+    def active(self) -> bool:
+        return not self.cancelled
 
 
 class Simulator:
@@ -25,38 +67,51 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now = 0.0
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._heap: list[tuple[float, int, Callable[[], None], Timer]] = []
         self._seq = 0
         self.events_processed = 0
+        self.silent_events = 0
 
-    def schedule(self, delay: float, fn: Callable[[], None]) -> None:
-        """Run ``fn`` at ``now + delay``."""
+    def schedule(self, delay: float, fn: Callable[[], None],
+                 silent: bool = False) -> Timer:
+        """Run ``fn`` at ``now + delay``; returns a cancellable handle."""
+        if not math.isfinite(delay):
+            raise ValueError(f"non-finite delay {delay}")
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, fn))
+        timer = Timer(silent=silent)
+        heapq.heappush(self._heap, (self.now + delay, self._seq, fn, timer))
+        return timer
 
-    def at(self, time: float, fn: Callable[[], None]) -> None:
+    def at(self, time: float, fn: Callable[[], None]) -> Timer:
         """Run ``fn`` at absolute ``time`` (must not be in the past)."""
-        self.schedule(time - self.now, fn)
+        return self.schedule(time - self.now, fn)
 
     def run(self, until: float | None = None) -> float:
         """Drain events (optionally stopping at ``until``); returns the
         final clock."""
         while self._heap:
-            t, _, fn = self._heap[0]
+            t, _, fn, timer = self._heap[0]
+            if timer.cancelled:
+                heapq.heappop(self._heap)
+                continue
             if until is not None and t > until:
                 self.now = until
                 return self.now
             heapq.heappop(self._heap)
             self.now = t
-            self.events_processed += 1
+            if timer.silent:
+                self.silent_events += 1
+            else:
+                self.events_processed += 1
             fn()
         return self.now
 
     @property
     def pending(self) -> int:
-        return len(self._heap)
+        """Number of live (non-cancelled) scheduled events."""
+        return sum(1 for entry in self._heap if not entry[3].cancelled)
 
 
 class FifoResource:
@@ -85,9 +140,16 @@ class FifoResource:
         on_done: Callable[[], None] | None = None,
         on_start: Callable[[], None] | None = None,
     ) -> None:
+        _check_service_time(service_time)
         self._queue.append((service_time, on_done, on_start))
         self.max_queue = max(self.max_queue, len(self._queue))
         self._try_start()
+
+    @property
+    def backlog_jobs(self) -> int:
+        """Jobs in service plus jobs queued (a congestion snapshot used by
+        adaptive request timeouts)."""
+        return self._busy + len(self._queue)
 
     def _try_start(self) -> None:
         while self._busy < self.capacity and self._queue:
@@ -137,15 +199,28 @@ class WorkerPool:
 
     # -- submission ---------------------------------------------------------
     def submit(self, service_time: float, label: str = "work", on_done=None, on_start=None) -> None:
+        _check_service_time(service_time)
         self._shared.append((service_time, label, on_done, on_start))
         self._wake_one()
 
     def submit_to_least_busy(self, service_time: float, label: str = "fill", on_done=None) -> None:
+        _check_service_time(service_time)
         w = min(range(self.n_workers), key=lambda i: (self._backlog[i], i))
         self._backlog[w] += service_time
         self._bound[w].append((service_time, label, on_done, None))
         if self._idle[w]:
             self._run_next(w)
+
+    def preempt_all(self, service_time: float, label: str = "restart") -> None:
+        """Stall every worker for ``service_time`` at its next scheduling
+        point (crash-with-restart model: tasks already executing finish,
+        then the restart window runs ahead of any queued work)."""
+        _check_service_time(service_time)
+        for w in range(self.n_workers):
+            self._backlog[w] += service_time
+            self._bound[w].appendleft((service_time, label, None, None))
+            if self._idle[w]:
+                self._run_next(w)
 
     # -- scheduling ----------------------------------------------------------
     def _wake_one(self) -> None:

@@ -16,15 +16,27 @@ Per process the model runs the event sequence of paper Fig 2 / Fig 9:
   **traversal resumption** tasks.
 
 The simulated wall-clock of the slowest process is the iteration time.
+
+When a :class:`~repro.faults.FaultPlan` is supplied, the same lifecycle
+runs under injected faults — message drop/duplication, latency jitter,
+transient fill failures, straggler processes, crash-with-restart — and the
+runtime's recovery semantics engage: every outstanding request carries a
+cancellable timeout timer with exponential-backoff resends, and a request
+that exhausts its attempts raises a structured
+:class:`~repro.faults.IterationFailure` instead of parking its waiters
+forever.  Faults affect timing and communication only, never the physics
+(the workload's interaction work is fixed before simulation starts).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
-from ..cache.models import CacheModel, WAITFREE
+from ..cache.models import CacheModel, RetryPolicy, WAITFREE
+from ..faults import FaultCounters, FaultInjector, FaultPlan, IterationFailure, as_injector
 from ..obs import Telemetry, get_telemetry
 from .des import FifoResource, Simulator, WorkerPool
 from .machine import MachineSpec, STAMPEDE2
@@ -48,6 +60,8 @@ class SimResult:
     activity: dict[str, float]
     trace: ActivityTrace | None = None
     events: int = 0
+    #: injected-fault and recovery counters (None when no injector ran)
+    faults: FaultCounters | None = None
 
     @property
     def total_cores(self) -> int:
@@ -58,6 +72,23 @@ class SimResult:
         busy = sum(self.activity.values())
         span = self.time * self.total_cores
         return busy / span if span > 0 else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable summary (trace omitted)."""
+        out = {
+            "time": self.time,
+            "n_processes": self.n_processes,
+            "workers_per_process": self.workers_per_process,
+            "cache_model": self.cache_model,
+            "requests": self.requests,
+            "duplicate_requests": self.duplicate_requests,
+            "bytes_moved": self.bytes_moved,
+            "events": self.events,
+            "activity": {k: float(v) for k, v in self.activity.items()},
+        }
+        if self.faults is not None:
+            out["faults"] = self.faults.to_dict()
+        return out
 
 
 @dataclass
@@ -74,6 +105,10 @@ class _GroupState:
     present: bool = False
     requesters: set = field(default_factory=set)
     waiters: list = field(default_factory=list)
+    #: cancellable timeout timer of the outstanding send (fault runs only)
+    timer: Any = None
+    #: physical sends so far (1 + retries)
+    attempts: int = 0
 
 
 class TraversalSim:
@@ -91,6 +126,7 @@ class TraversalSim:
         collect_trace: bool = False,
         processes_per_node: int = 1,
         telemetry: Telemetry | None = None,
+        faults: FaultPlan | FaultInjector | None = None,
     ) -> None:
         self.workload = workload
         self.machine = machine
@@ -137,6 +173,17 @@ class TraversalSim:
         # Topology: processes sharing a node exchange messages through
         # shared memory; everything else crosses the network.
         self.processes_per_node = max(int(processes_per_node), 1)
+        # Fault injection + recovery.  The injector is None on the fault-free
+        # path, which therefore costs one `is not None` check per message
+        # leg and schedules no timers at all.
+        self.injector = as_injector(faults)
+        self.retry: RetryPolicy = (
+            self.injector.plan.retry if self.injector is not None else RetryPolicy()
+        )
+        #: per-process service-time multiplier (stragglers > 1)
+        self._slow: list[float] = [1.0] * n_processes
+        #: processes currently down (process -> restart-complete time)
+        self._crashed_until: dict[int, float] = {}
 
     def _latency(self, a: int, b: int) -> float:
         if a // self.processes_per_node == b // self.processes_per_node:
@@ -152,11 +199,17 @@ class TraversalSim:
         return (0, group)
 
     def _enable(self, proc: int, state: _GroupState) -> None:
+        if state.timer is not None:
+            # The fill landed: disarm the pending timeout so the fault-free
+            # timeline (and final clock) is untouched by the timer.
+            state.timer.cancel()
+            state.timer = None
         state.present = True
         waiters = state.waiters
         state.waiters = []
+        slow = self._slow[proc]
         for work in waiters:
-            self.pools[proc].submit(work, label="traversal resumption")
+            self.pools[proc].submit(work * slow, label="traversal resumption")
 
     def _request_group(self, proc: int, group: int, thread_hint: int) -> _GroupState:
         """Issue (or join) the fetch of ``group`` on process ``proc``."""
@@ -182,27 +235,74 @@ class TraversalSim:
         self.requests += 1
         home = int(self.st_proc[self.workload.groups.group_subtree[group]])
         size = float(self.workload.groups.group_bytes[group])
-        self.bytes_moved += size
+        self._issue_request(proc, home, state, group, size, attempt=0)
+        return state
+
+    def _issue_request(
+        self, proc: int, home: int, state: _GroupState, group: int,
+        size: float, attempt: int,
+    ) -> None:
+        """One physical send of the request, with per-leg faults applied
+        and (on fault runs) a cancellable timeout that re-sends with
+        exponential backoff."""
+        sim = self.sim
+        inj = self.injector
         send_time = size / self.machine.net_bandwidth_Bps
-        insert_time = self.cost.insert_fixed + self.cost.insert_per_byte * size
-        serialize_time = self.cost.serialize_fixed + self.cost.serialize_per_byte * size
+        # Stragglers slow CPU-bound steps: the home's serialization and the
+        # requester's insertion, not wire latency or bandwidth.
+        serialize_time = (
+            self.cost.serialize_fixed + self.cost.serialize_per_byte * size
+        ) * self._slow[home]
+        insert_time = (
+            self.cost.insert_fixed + self.cost.insert_per_byte * size
+        ) * self._slow[proc]
 
         def arrive_home():
             # The home's comm thread serializes the response in arrival
             # order, then it streams through the injection-bandwidth pipe —
             # §III-A's "costs of these extra requests and responses" land
-            # here when a cache design duplicates fetches.
+            # here when a cache design duplicates fetches (and when faults
+            # force resends).
+            self.bytes_moved += size
             self.comm_threads[home].submit(
                 serialize_time,
                 on_done=lambda: self.pipes[home].submit(send_time, on_done=back_in_flight),
             )
 
         def back_in_flight():
-            self.sim.schedule(self._latency(home, proc), do_insert)
+            latency = self._latency(home, proc)
+            if inj is None:
+                sim.schedule(latency, do_insert)
+                return
+            if inj.drop_message():
+                return  # response lost; the timeout will re-send
+            sim.schedule(inj.jittered(latency), do_insert)
+            if inj.duplicate_message():
+                sim.schedule(inj.jittered(latency), do_insert)
 
         def do_insert():
             if state.present:
                 return  # a duplicate response landed after the first fill
+            if inj is not None:
+                if self._is_crashed(proc):
+                    # The response reached a process that is down: lost with
+                    # everything else in its memory; the timeout (still
+                    # armed) re-sends after the restart.
+                    inj.counters.drops += 1
+                    return
+                if state.timer is not None:
+                    # The response made it back: the loss timeout is done.
+                    # From here on the insertion is local work whose
+                    # completion the worker pool guarantees.
+                    state.timer.cancel()
+                    state.timer = None
+                if inj.fill_fails():
+                    # Transient insertion failure after the data arrived —
+                    # detected locally (unlike a lost message), so retry
+                    # immediately instead of waiting out a timeout.
+                    self._retry(proc, home, state, group, size, attempt,
+                                reason="fill failure", sent_at=sent_at)
+                    return
             policy = self.cache_model.insert_policy
             if policy == "parallel":
                 # Wait-free: any worker inserts; dispatched to the least busy.
@@ -215,7 +315,7 @@ class TraversalSim:
                 # process-wide lock frees, then holds it for the insert —
                 # both the wait and the insert burn worker time, which is
                 # the degradation mechanism the paper observes at scale.
-                now = self.sim.now
+                now = sim.now
                 wait = max(0.0, self.mutex_free_at[proc] - now)
                 self.mutex_free_at[proc] = now + wait + insert_time
                 self.pools[proc].submit_to_least_busy(
@@ -229,8 +329,118 @@ class TraversalSim:
                     insert_time, on_done=lambda: self._enable(proc, state)
                 )
 
-        self.sim.schedule(self._latency(proc, home), arrive_home)
-        return state
+        latency_out = self._latency(proc, home)
+        if inj is None:
+            sim.schedule(latency_out, arrive_home)
+            return
+        # Fault path: apply request-leg faults and arm the retry timeout.
+        sent_at = sim.now
+        if not inj.drop_message():
+            sim.schedule(inj.jittered(latency_out), arrive_home)
+            if inj.duplicate_message():
+                sim.schedule(inj.jittered(latency_out), arrive_home)
+        state.attempts = attempt + 1
+        # The timeout guards against *message loss* only — once the
+        # response is back (do_insert) the timer is disarmed, because the
+        # insertion is local work the worker pool is guaranteed to finish.
+        self._arm_timeout(proc, home, state, group, size, attempt, sent_at)
+
+    def _net_rtt(self, proc: int, home: int, size: float) -> float:
+        """Round-trip estimate for a request message under the *current*
+        congestion of the home's comm thread and injection pipe."""
+        send_time = size / self.machine.net_bandwidth_Bps
+        serialize_time = (
+            self.cost.serialize_fixed + self.cost.serialize_per_byte * size
+        ) * self._slow[home]
+        return (
+            self._latency(proc, home)
+            + (self.comm_threads[home].backlog_jobs + 1) * serialize_time
+            + (self.pipes[home].backlog_jobs + 1) * send_time
+            + self._latency(home, proc)
+        )
+
+    def _arm_timeout(
+        self, proc: int, home: int, state: _GroupState, group: int,
+        size: float, attempt: int, sent_at: float,
+    ) -> None:
+        window = self.retry.timeout_for(attempt, self._net_rtt(proc, home, size))
+
+        def on_timeout():
+            self._on_timeout(proc, home, state, group, size, attempt, sent_at,
+                             this_timer)
+
+        this_timer = self.sim.schedule(window, on_timeout, silent=True)
+        if state.timer is not None:
+            # Thread-scope models send duplicate requests for one group
+            # state; a single outstanding timeout (the newest send) covers
+            # the fill.  Cancelling the superseded timer keeps it from
+            # firing into the stale guard later — which would silently
+            # stretch the simulated clock.
+            state.timer.cancel()
+        state.timer = this_timer
+
+    def _on_timeout(
+        self, proc: int, home: int, state: _GroupState, group: int,
+        size: float, attempt: int, sent_at: float, this_timer,
+    ) -> None:
+        if state.present or state.timer is not this_timer:
+            # The fill landed (or a newer send owns the request); a stale
+            # timer must not trigger a duplicate retry chain.
+            return
+        if self.comm_threads[home].backlog_jobs or self.pipes[home].backlog_jobs:
+            # The home is still streaming responses — ours may simply be
+            # queued behind them (a burst of requests can outgrow any
+            # window estimated at send time).  Extend the wait instead of
+            # burning an attempt: loss is only declared against an idle
+            # home, which keeps congestion from masquerading as loss and
+            # starving the retry budget.
+            self._arm_timeout(proc, home, state, group, size, attempt, sent_at)
+            return
+        state.timer = None
+        self.injector.counters.timeouts += 1
+        self._retry(proc, home, state, group, size, attempt,
+                    reason="timeout", sent_at=sent_at)
+
+    def _retry(
+        self, proc: int, home: int, state: _GroupState, group: int,
+        size: float, attempt: int, reason: str, sent_at: float | None = None,
+    ) -> None:
+        """Re-send with exponential backoff; structured failure at the cap."""
+        counters = self.injector.counters
+        if attempt + 1 >= self.retry.max_attempts:
+            raise IterationFailure(
+                f"retries exhausted after {reason}",
+                process=proc, group=group, attempts=attempt + 1,
+                sim_time=self.sim.now, counters=counters,
+            )
+        counters.retries += 1
+        if self.telemetry.enabled and sent_at is not None:
+            # The retry interval as a span on simulated time: from the
+            # failed send to the re-send.
+            self.telemetry.tracer.complete(
+                "faults.retry", sent_at, self.sim.now, cat="faults",
+                pid=proc, group=group, attempt=attempt,
+            )
+        self._issue_request(proc, home, state, group, size, attempt=attempt + 1)
+
+    # -- crash-with-restart ----------------------------------------------------
+    def _is_crashed(self, proc: int) -> bool:
+        until = self._crashed_until.get(proc)
+        return until is not None and self.sim.now < until
+
+    def _crash(self, proc: int, restart_delay: float) -> None:
+        """Process ``proc`` dies now and restarts ``restart_delay`` later:
+        its software cache is cold again (present groups forgotten, so
+        later buckets re-request them), responses in flight to it are lost
+        (their timeouts re-send), and every worker stalls for the restart
+        window before picking up queued work."""
+        self.injector.counters.crash_restarts += 1
+        self._crashed_until[proc] = self.sim.now + restart_delay
+        for st in self.states[proc].values():
+            if st.present:
+                st.present = False
+                st.requesters.clear()
+        self.pools[proc].preempt_all(restart_delay, label="restart")
 
     def _export_telemetry(
         self, telemetry: Telemetry, total_time: float, activity: dict[str, float]
@@ -250,6 +460,8 @@ class TraversalSim:
         metrics.gauge("des.sim_time", model=model).set(total_time)
         for label, seconds in activity.items():
             metrics.counter("des.busy_seconds", model=model, activity=label).inc(seconds)
+        if self.injector is not None:
+            metrics.absorb_fault_counters(self.injector.counters, model=model)
 
     # -- main -------------------------------------------------------------------
     def run(self) -> SimResult:
@@ -257,6 +469,21 @@ class TraversalSim:
         st_proc = self.st_proc
         group_subtree = wl.groups.group_subtree
         factor = self.style_factor
+        if self.injector is not None:
+            # Per-process draws happen once, up front, in process order —
+            # the straggler factors then scale every CPU-bound service time,
+            # and crashes are pinned to fractions of the estimated
+            # fault-free makespan.
+            self._slow = self.injector.straggler_factors(self.n_processes)
+            est_makespan = wl.total_work * factor / max(
+                self.n_processes * self.workers, 1
+            )
+            for ev in self.injector.crash_events(self.n_processes):
+                self.sim.schedule(
+                    ev.at_fraction * est_makespan,
+                    lambda p=ev.process, d=ev.restart_fraction * est_makespan:
+                        self._crash(p, d),
+                )
         # Buckets are spatially contiguous in workload order (tree order);
         # block-assign them to worker threads within each process so
         # per-thread caches overlap only at block borders, like partitions
@@ -282,23 +509,25 @@ class TraversalSim:
                     remote.append((g, w * factor))
 
             def start_bucket(proc=proc, remote=remote, hint=thread_hints[seq]):
+                slow = self._slow[proc]
                 # Issuing the requests costs worker time ("cache request").
                 for g, w in remote:
                     state = self._request_group(proc, g, thread_hint=hint)
                     if state.present:
-                        self.pools[proc].submit(w, label="traversal resumption")
+                        self.pools[proc].submit(w * slow, label="traversal resumption")
                     else:
                         state.waiters.append(w)
                 if remote:
                     self.pools[proc].submit(
-                        self.cost.request_cpu * len(remote), label="cache request"
+                        self.cost.request_cpu * len(remote) * slow,
+                        label="cache request",
                     )
 
             # Requests go out when this bucket's local traversal *starts*
             # (the traversal discovers its remote needs as it walks), which
             # spreads requests through the iteration like Fig 9 shows.
             self.pools[proc].submit(
-                max(local_work, 1e-12), label="local traversal",
+                max(local_work, 1e-12) * self._slow[proc], label="local traversal",
                 on_start=start_bucket,
             )
 
@@ -325,6 +554,7 @@ class TraversalSim:
             activity=activity,
             trace=self.trace,
             events=self.sim.events_processed,
+            faults=self.injector.counters if self.injector is not None else None,
         )
 
 
@@ -339,6 +569,7 @@ def simulate_traversal(
     collect_trace: bool = False,
     processes_per_node: int = 1,
     telemetry: Telemetry | None = None,
+    faults: FaultPlan | FaultInjector | None = None,
 ) -> SimResult:
     """Convenience wrapper: configure and run one :class:`TraversalSim`."""
     return TraversalSim(
@@ -352,4 +583,5 @@ def simulate_traversal(
         collect_trace=collect_trace,
         processes_per_node=processes_per_node,
         telemetry=telemetry,
+        faults=faults,
     ).run()

@@ -198,3 +198,123 @@ class TestThreadSafety:
         for t in threads:
             t.join()
         assert len(wins) == 1
+
+
+class TestLostWaiterRace:
+    def test_late_park_resumes_immediately(self, setup):
+        """The lost-waiter race: a waiter that parks after the filler has
+        drained the list must be resumed immediately, not parked forever."""
+        tree, dec, node_proc = setup
+        cache = SharedTreeCache(tree, node_proc, process=0, nodes_per_request=2)
+        parent, slot = _collect_placeholders(cache)[0]
+        placeholder = parent.children[slot]
+        # Fill completes first (drains the waiter list and sets _filled)...
+        assert cache.request_fill(parent, slot)
+        resumed = []
+        # ...then a straggling traversal, still holding the placeholder
+        # reference, tries to park on it: park() refuses (the list is
+        # already drained) and the caller resumes directly.
+        assert placeholder.park(lambda: resumed.append("stranded")) is False
+        assert cache.request_fill(parent, slot, on_resume=lambda: resumed.append("direct")) is False
+        assert resumed == ["direct"]
+
+    def test_park_and_complete_are_atomic(self, setup):
+        """Hammer park() against complete_fill(): every parked waiter is
+        either drained by the filler or told to resume directly — none are
+        stranded."""
+        tree, dec, node_proc = setup
+        for trial in range(50):
+            cache = SharedTreeCache(tree, node_proc, process=0, nodes_per_request=2)
+            parent, slot = _collect_placeholders(cache)[0]
+            placeholder = parent.children[slot]
+            resumed = []
+            barrier = threading.Barrier(9)
+
+            def parker(i):
+                barrier.wait()
+                if not placeholder.park(lambda i=i: resumed.append(i)):
+                    resumed.append(i)  # fill already done: resume directly
+
+            def filler():
+                barrier.wait()
+                cache.request_fill(parent, slot)
+
+            threads = [threading.Thread(target=parker, args=(i,)) for i in range(8)]
+            threads.append(threading.Thread(target=filler))
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert sorted(resumed) == list(range(8)), f"trial {trial} lost a waiter"
+
+
+class TestFailureAwarePlaceholders:
+    def _plan(self, p, seed=0):
+        from repro.faults import parse_fault_spec
+
+        return parse_fault_spec(f"fail={p},seed={seed}")
+
+    def test_failed_fill_rearms_request_flag(self, setup):
+        tree, dec, node_proc = setup
+        cache = SharedTreeCache(tree, node_proc, process=0, nodes_per_request=2,
+                                injector=self._plan(1.0))
+        parent, slot = _collect_placeholders(cache)[0]
+        placeholder = parent.children[slot]
+        assert cache.request_fill(parent, slot) is False
+        assert cache.fills_failed == 1
+        assert parent.children[slot] is placeholder  # still a placeholder
+        assert placeholder._requested is False  # re-armed: next toucher re-sends
+        # With p=1 it fails forever but each attempt is a fresh request.
+        cache.request_fill(parent, slot)
+        assert cache.requests_sent == 2 and cache.fills_failed == 2
+
+    def test_failed_fill_releases_parked_waiters(self, setup):
+        tree, dec, node_proc = setup
+        cache = SharedTreeCache(tree, node_proc, process=0, nodes_per_request=2,
+                                injector=self._plan(1.0))
+        parent, slot = _collect_placeholders(cache)[0]
+        released = []
+        cache.request_fill(parent, slot, on_resume=lambda: released.append(1))
+        assert released == [1], "waiters must not be stranded on a dead request"
+
+    def test_chaos_fill_converges_and_stays_valid(self, setup):
+        """Threaded chaos: every placeholder eventually fills despite a 30%
+        transient failure rate, with the wait-free invariant holding."""
+        tree, dec, node_proc = setup
+        cache = SharedTreeCache(tree, node_proc, process=0, nodes_per_request=2,
+                                injector=self._plan(0.3, seed=13))
+
+        def fill_all():
+            for _ in range(10_000):
+                pending = []
+                stack = [cache.root]
+                while stack:
+                    e = stack.pop()
+                    if e.is_placeholder:
+                        continue
+                    for i, c in enumerate(e.children):
+                        if c.is_placeholder:
+                            pending.append((e, i))
+                        else:
+                            stack.append(c)
+                if not pending:
+                    return
+                for parent, slot in pending:
+                    cache.request_fill(parent, slot)
+
+        threads = [threading.Thread(target=fill_all) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        cache.validate()
+        assert cache.fills_failed > 0, "a 30% failure rate must fire"
+        assert not _collect_placeholders(cache), "every fill must eventually land"
+
+    def test_no_injector_no_failures(self, setup):
+        tree, dec, node_proc = setup
+        cache = SharedTreeCache(tree, node_proc, process=0, nodes_per_request=2)
+        for parent, slot in _collect_placeholders(cache):
+            cache.request_fill(parent, slot)
+        assert cache.fills_failed == 0
+        cache.validate()

@@ -216,3 +216,119 @@ class TestSimulatorEdgeCases:
         # worker 0 runs the bound task; worker 1 drains both shared tasks
         assert done == ["shared", "bound", "shared2"] or done == ["shared", "shared2", "bound"]
         assert sim.now == pytest.approx(2.0)
+
+
+class TestTimers:
+    def test_cancelled_timer_never_fires(self):
+        sim = Simulator()
+        fired = []
+        t = sim.schedule(1.0, lambda: fired.append(1))
+        assert t.active
+        t.cancel()
+        assert not t.active
+        sim.run()
+        assert fired == []
+
+    def test_cancellation_is_clock_invisible(self):
+        """A run whose timers are all cancelled is bit-identical to a run
+        that never scheduled them: same clock, same event count."""
+        plain = Simulator()
+        plain.schedule(1.0, lambda: None)
+        plain.run()
+
+        timed = Simulator()
+        timed.schedule(1.0, lambda: None)
+        t = timed.schedule(5.0, lambda: None)  # would have been the last event
+        t.cancel()
+        timed.run()
+        assert timed.now == plain.now == 1.0
+        assert timed.events_processed == plain.events_processed == 1
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        keep = sim.schedule(1.0, lambda: None)
+        drop = sim.schedule(2.0, lambda: None)
+        assert sim.pending == 2
+        drop.cancel()
+        assert sim.pending == 1
+        assert keep.active
+
+    def test_silent_events_do_not_count(self):
+        """Silent timers advance the clock (causality) but land in a
+        separate counter, so probes that fire-and-do-nothing leave the
+        public event count untouched."""
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None, silent=True)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 1
+        assert sim.silent_events == 1
+        assert sim.now == 2.0
+
+
+class TestInputValidation:
+    def test_schedule_rejects_nan_and_inf(self):
+        sim = Simulator()
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError):
+                sim.schedule(bad, lambda: None)
+
+    def test_schedule_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1e-9, lambda: None)
+
+    def test_at_rejects_past_times(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.at(0.5, lambda: None)
+
+    def test_resource_rejects_bad_service_times(self):
+        sim = Simulator()
+        res = FifoResource(sim)
+        for bad in (float("nan"), float("inf"), -1.0):
+            with pytest.raises(ValueError):
+                res.submit(bad)
+
+    def test_pool_rejects_bad_service_times(self):
+        sim = Simulator()
+        pool = WorkerPool(sim, n_workers=2)
+        for bad in (float("nan"), float("inf"), -0.5):
+            with pytest.raises(ValueError):
+                pool.submit(bad)
+            with pytest.raises(ValueError):
+                pool.submit_to_least_busy(bad)
+            with pytest.raises(ValueError):
+                pool.preempt_all(bad)
+
+
+class TestFaultSupportPrimitives:
+    def test_backlog_jobs_tracks_busy_plus_queue(self):
+        sim = Simulator()
+        res = FifoResource(sim, capacity=1)
+        assert res.backlog_jobs == 0
+        res.submit(1.0)
+        res.submit(1.0)
+        res.submit(1.0)
+        assert res.backlog_jobs == 3  # one in service, two queued
+        sim.run(until=1.5)
+        assert res.backlog_jobs == 2
+        sim.run()
+        assert res.backlog_jobs == 0
+
+    def test_preempt_all_stalls_every_worker(self):
+        """The crash-restart model: queued work waits out the restart
+        window on every worker before resuming."""
+        sim = Simulator()
+        pool = WorkerPool(sim, n_workers=2)
+        done = []
+        pool.submit(1.0, on_done=lambda: done.append("a"))
+        pool.submit(1.0, on_done=lambda: done.append("b"))
+        pool.submit(1.0, on_done=lambda: done.append("queued"))
+        pool.preempt_all(10.0)
+        sim.run()
+        # the two running tasks finish at t=1, then both workers stall for
+        # 10, then the queued task runs: 1 + 10 + 1
+        assert sim.now == pytest.approx(12.0)
+        assert done[:2] == ["a", "b"] and done[-1] == "queued"
