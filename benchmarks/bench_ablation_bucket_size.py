@@ -10,10 +10,23 @@ and checks the expected monotonicities.
 from repro.apps.gravity import compute_gravity
 from repro.bench import format_table, print_banner
 from repro.particles import clustered_clumps
+from repro.perf import benchmark as perf_benchmark
 
 BUCKETS = (4, 8, 16, 32, 64)
 
 _CACHE = {}
+
+
+@perf_benchmark("gravity.bucket16", group="gravity",
+                description="Barnes-Hut gravity solve (clustered, octree, bucket=16)")
+def perf_gravity_bucket16(quick=False):
+    particles = clustered_clumps(4_000 if quick else 15_000, seed=13)
+
+    def run():
+        res = compute_gravity(particles, theta=0.7, bucket_size=16)
+        return {"pp_interactions": res.stats.pp_interactions}
+
+    return run
 
 
 def _sweep():

@@ -9,12 +9,30 @@ bytes-moved tradeoff.
 
 from repro.bench import build_gravity_workload, format_table, print_banner
 from repro.cache import WAITFREE, assign_fetch_groups, fetch_statistics
+from repro.perf import benchmark as perf_benchmark
 from repro.runtime import STAMPEDE2, simulate_traversal, workload_from_traversal
 
 N_PROC = 32
 WORKERS = 24
 
 _CACHE = {}
+
+
+@perf_benchmark("des.cache_params", group="des",
+                description="fetch-group regroup + DES run at nodes_per_request=4")
+def perf_cache_params(quick=False):
+    gw = build_gravity_workload(distribution="clustered",
+                                n=6_000 if quick else 15_000,
+                                n_partitions=128, n_subtrees=128, seed=3)
+
+    def run():
+        wl = workload_from_traversal(gw.tree, gw.decomposition, gw.lists,
+                                     nodes_per_request=4)
+        r = simulate_traversal(wl, machine=STAMPEDE2, n_processes=N_PROC,
+                               workers_per_process=WORKERS)
+        return {"requests": r.requests, "sim_time": r.time}
+
+    return run
 
 
 def _sweep():

@@ -19,6 +19,7 @@ from repro.core import BucketLoadRecorder, InteractionLists, get_traverser
 from repro.decomp import decompose, get_decomposer, imbalance
 from repro.decomp.loadbalance import sfc_rebalance, spatial_bisection_rebalance
 from repro.particles import clustered_clumps
+from repro.perf import benchmark as perf_benchmark
 from repro.runtime import STAMPEDE2, simulate_traversal, workload_from_traversal
 from repro.trees import build_tree
 
@@ -27,6 +28,23 @@ N_PROC = 64       # x24 workers = the paper's 1536 cores
 WORKERS = 24
 
 _CACHE = {}
+
+
+@perf_benchmark("decomp.rebalance", group="decomp",
+                description="measured-load SFC + 3D-bisection rebalance passes")
+def perf_rebalance(quick=False):
+    particles = clustered_clumps(8_000 if quick else 25_000, seed=29)
+    tree = build_tree(particles, tree_type="oct", bucket_size=16)
+    rng = np.random.default_rng(5)
+    per_particle = rng.gamma(2.0, 1.0, size=tree.n_particles)
+
+    def run():
+        a = sfc_rebalance(tree.particles, per_particle, N_PARTITIONS)
+        b = spatial_bisection_rebalance(tree.particles, per_particle,
+                                        N_PARTITIONS)
+        return {"parts": int(a.max()) + int(b.max()) + 2}
+
+    return run
 
 
 def _measure():

@@ -23,11 +23,27 @@ from repro.decomp import (
     estimate_build_times,
 )
 from repro.particles import clustered_clumps
+from repro.perf import benchmark as perf_benchmark
 from repro.trees import build_tree
 
 PARTITION_COUNTS = (4, 16, 64, 256)
 
 _CACHE = {}
+
+
+@perf_benchmark("decomp.partitions_subtrees", group="decomp",
+                description="decompose + branch-duplication census at 64 partitions")
+def perf_partitions_subtrees(quick=False):
+    particles = clustered_clumps(8_000 if quick else 30_000, seed=3)
+    tree = build_tree(particles, tree_type="oct", bucket_size=16)
+    parts = SfcDecomposer().assign(tree.particles, 64)
+
+    def run():
+        dec = decompose(tree, parts, n_subtrees=64)
+        dup = branch_duplication_count(tree, parts)
+        return {"split_buckets": dec.n_split_buckets, "dup_nodes": int(dup)}
+
+    return run
 
 
 def _measure():

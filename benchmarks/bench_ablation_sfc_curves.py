@@ -15,12 +15,27 @@ from repro.cache import WAITFREE, assign_fetch_groups, fetch_statistics
 from repro.core import InteractionLists, get_traverser
 from repro.decomp import decompose, get_decomposer
 from repro.particles import clustered_clumps
+from repro.perf import benchmark as perf_benchmark
 from repro.trees import build_tree
 
 N_PARTS = 64
 N_PROC = 16
 
 _CACHE = {}
+
+
+@perf_benchmark("decomp.hilbert_assign", group="decomp",
+                description="Hilbert-curve decomposition assignment (kd-tree)")
+def perf_hilbert_assign(quick=False):
+    particles = clustered_clumps(6_000 if quick else 20_000, seed=21)
+    tree = build_tree(particles, tree_type="kd", bucket_size=16)
+    decomposer = get_decomposer("hilbert")
+
+    def run():
+        parts = decomposer.assign(tree.particles, N_PARTS)
+        return {"n_parts": int(parts.max()) + 1}
+
+    return run
 
 
 def _measure():

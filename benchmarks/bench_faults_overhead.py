@@ -16,10 +16,26 @@ Run ``pytest benchmarks/bench_faults_overhead.py --benchmark-only -s``.
 from repro.bench import build_gravity_workload, print_banner
 from repro.cache import WAITFREE
 from repro.faults import FaultPlan, parse_fault_spec
+from repro.perf import benchmark as perf_benchmark
 from repro.runtime import STAMPEDE2, simulate_traversal
 
 N_PROC = 16
 WORKERS = 24
+
+
+@perf_benchmark("des.faults_armed", group="des",
+                description="Fig 10 DES with an armed-but-silent fault plan")
+def perf_faults_armed(quick=False):
+    workload = build_gravity_workload(
+        distribution="clustered", n=6_000 if quick else 25_000,
+        n_partitions=1024, n_subtrees=1024, shared_branch_levels=4,
+    ).workload
+
+    def run():
+        r = _run(workload, faults=FaultPlan(seed=0))
+        return {"sim_time": r.time}
+
+    return run
 
 
 def _workload():

@@ -17,8 +17,14 @@ fetches bite.
 """
 
 
-from repro.bench import format_series, paper_reference, print_banner
+from repro.bench import (
+    build_gravity_workload,
+    format_series,
+    paper_reference,
+    print_banner,
+)
 from repro.cache import PER_THREAD, WAITFREE
+from repro.perf import benchmark as perf_benchmark
 from repro.runtime import SUMMIT, simulate_traversal
 
 NODES = (1, 4, 16, 64)
@@ -30,6 +36,23 @@ CONFIGS = {
 
 
 _CACHE = {}
+
+
+@perf_benchmark("des.gravity_scaling", group="des",
+                description="Fig 10 ParaTreeT point: 16 Summit nodes, wait-free cache")
+def perf_gravity_scaling(quick=False):
+    wl = build_gravity_workload(
+        distribution="uniform", n=8_000 if quick else 25_000, seed=11
+    ).workload
+
+    def run():
+        r = simulate_traversal(
+            wl, machine=SUMMIT, n_processes=16,
+            workers_per_process=SUMMIT.workers_per_node, cache_model=WAITFREE,
+        )
+        return {"sim_time": r.time, "requests": r.requests}
+
+    return run
 
 
 def _sweep(uniform_workload):

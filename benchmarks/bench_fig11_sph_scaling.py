@@ -21,9 +21,25 @@ import pytest
 
 from repro.bench import build_sph_workloads, format_series, paper_reference, print_banner
 from repro.cache import PER_THREAD, WAITFREE
+from repro.perf import benchmark as perf_benchmark
 from repro.runtime import STAMPEDE2, simulate_traversal
 
 CORES = (48, 192, 768)
+
+
+@perf_benchmark("des.sph_scaling", group="des",
+                description="Fig 11 ParaTreeT kNN point: 8 procs x 24 workers")
+def perf_sph_scaling(quick=False):
+    knn_wl, _, _ = build_sph_workloads(n=4_000 if quick else 12_000, k=32)
+
+    def run():
+        r = simulate_traversal(
+            knn_wl.workload, machine=STAMPEDE2, n_processes=8,
+            workers_per_process=24, cache_model=WAITFREE,
+        )
+        return {"sim_time": r.time}
+
+    return run
 
 
 @pytest.fixture(scope="module")

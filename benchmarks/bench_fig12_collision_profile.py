@@ -28,11 +28,40 @@ from repro.apps.collision import (
 from repro.bench import format_table, paper_reference, print_banner
 from repro.core import Configuration
 from repro.particles import DiskParams, keplerian_disk
+from repro.perf import benchmark as perf_benchmark
 from repro.trees import TreeType
 
 N_PLANETESIMALS = 6_000
 N_STEPS = 80
 DT = 0.025
+
+
+@perf_benchmark("e2e.disk_steps", group="e2e",
+                description="planetesimal-disk driver, end-to-end timesteps")
+def perf_disk_steps(quick=False):
+    n = 1_500 if quick else 3_000
+    n_steps = 3 if quick else 10
+
+    class SmallDisk(PlanetesimalDriver):
+        def configure(self, conf: Configuration) -> None:
+            conf.num_iterations = n_steps
+            conf.tree_type = TreeType.LONGEST_DIM
+            conf.decomp_type = "longest"
+            conf.num_partitions = 16
+            conf.num_subtrees = 16
+
+        def create_particles(self, config: Configuration):
+            params = DiskParams(
+                planetesimal_radius=2.5e-3, eccentricity_dispersion=0.015
+            )
+            return keplerian_disk(n, params=params, seed=42)
+
+    def run():
+        driver = SmallDisk(dt=DT, merge=False)
+        driver.run()
+        return {"collisions": len(driver.log)}
+
+    return run
 
 
 class DiskMain(PlanetesimalDriver):

@@ -20,10 +20,31 @@ produces scaling anomalies like the paper's 192-core point.
 from repro.bench import build_gravity_workload, format_series, paper_reference, print_banner
 from repro.cache import PER_THREAD, WAITFREE
 from repro.decomp import imbalance
+from repro.perf import benchmark as perf_benchmark
 from repro.runtime import STAMPEDE2, simulate_traversal
 
 CORES = (48, 192, 768)
 WORKERS = 48  # full Stampede2 nodes
+
+
+@perf_benchmark("des.disk_tree", group="des",
+                description="Fig 13 longest-dim disk point: 16 procs x 48 workers")
+def perf_disk_tree(quick=False):
+    gw = build_gravity_workload(
+        distribution="disk", n=6_000 if quick else 20_000,
+        n_partitions=64, n_subtrees=64, seed=5,
+        tree_type="longest", decomp_type="longest",
+    )
+
+    def run():
+        r = simulate_traversal(
+            gw.workload, machine=STAMPEDE2, n_processes=16,
+            workers_per_process=WORKERS, cache_model=WAITFREE,
+            traversal_style="transposed",
+        )
+        return {"sim_time": r.time}
+
+    return run
 
 CONFIGS = {
     "Longest-dim": dict(tree_type="longest", decomp_type="longest"),

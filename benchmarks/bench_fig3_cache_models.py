@@ -17,8 +17,14 @@ terminal ranking are the reproduced claims.
 
 import pytest
 
-from repro.bench import format_series, paper_reference, print_banner
+from repro.bench import (
+    build_gravity_workload,
+    format_series,
+    paper_reference,
+    print_banner,
+)
 from repro.cache import SEQUENTIAL, WAITFREE, XWRITE
+from repro.perf import benchmark as perf_benchmark
 from repro.runtime import STAMPEDE2, simulate_traversal
 
 PROCESSES = (1, 4, 16, 64, 256)
@@ -26,6 +32,25 @@ WORKERS = paper_reference.FIG3_CORES_PER_PROCESS  # 24, as in the paper
 
 
 _CACHE = {}
+
+
+@perf_benchmark("des.cache_models", group="des",
+                description="Fig 3 XWrite degradation point: 64 procs x 24 workers")
+def perf_cache_models(quick=False):
+    wl = build_gravity_workload(
+        distribution="clustered", n=8_000 if quick else 25_000,
+        n_partitions=1024, n_subtrees=1024,
+    ).workload
+    n_proc = 16 if quick else 64
+
+    def run():
+        r = simulate_traversal(
+            wl, machine=STAMPEDE2, n_processes=n_proc,
+            workers_per_process=WORKERS, cache_model=XWRITE,
+        )
+        return {"sim_time": r.time, "requests": r.requests}
+
+    return run
 
 
 def _sweep(clustered_workload):

@@ -13,6 +13,7 @@ course of one simulated iteration at the paper's 1 536-core configuration
 
 from repro.bench import build_gravity_workload, format_series, paper_reference, print_banner
 from repro.cache import WAITFREE
+from repro.perf import benchmark as perf_benchmark
 from repro.runtime import STAMPEDE2, simulate_traversal, utilization_profile
 from repro.runtime.tracing import activity_totals
 
@@ -24,6 +25,32 @@ WORKERS = 24
 
 
 _CACHE = {}
+
+
+@perf_benchmark("des.fig9_profile", group="des",
+                description="Fig 9 traced DES run with critical-path attribution")
+def perf_fig9_profile(quick=False):
+    workload = build_gravity_workload(
+        distribution="clustered", n=6_000 if quick else 25_000,
+        n_partitions=1024, n_subtrees=1024, shared_branch_levels=4,
+    ).workload
+
+    def run():
+        r = simulate_traversal(
+            workload, machine=STAMPEDE2, n_processes=N_PROC,
+            workers_per_process=WORKERS, cache_model=WAITFREE,
+            collect_trace=True, critical_path=True,
+        )
+        cp = r.critical_path
+        return {
+            "sim_time": r.time,
+            "critical_path": {
+                "makespan": cp.makespan,
+                "components": {k: float(v) for k, v in cp.components.items()},
+            },
+        }
+
+    return run
 
 
 def _traced_run(clustered_workload):

@@ -5,7 +5,24 @@ raw event throughput of the simulator core that stands in for them.
 """
 
 from repro.bench import format_table, paper_reference, print_banner
+from repro.perf import benchmark as perf_benchmark
 from repro.runtime import MACHINES, Simulator, WorkerPool
+
+
+@perf_benchmark("des.event_throughput", group="des",
+                description="raw DES event-loop throughput (WorkerPool, 16 workers)",
+                repeats=7)
+def perf_event_throughput(quick=False):
+    n_tasks = 500 if quick else 2000
+
+    def run():
+        sim = Simulator()
+        pool = WorkerPool(sim, 16)
+        for _ in range(n_tasks):
+            pool.submit(0.001)
+        return {"final_clock": sim.run()}
+
+    return run
 
 
 def test_table1_machines(benchmark):

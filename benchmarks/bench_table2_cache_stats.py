@@ -22,6 +22,7 @@ numbers — the reproduced quantities are the ratios and orderings:
 from repro.bench import format_table, paper_reference, print_banner
 from repro.memsim import profile_traversal_style
 from repro.particles import uniform_cube
+from repro.perf import benchmark as perf_benchmark
 from repro.trees import build_tree
 
 CPUS = (1, 2, 4)
@@ -30,6 +31,22 @@ CACHE_SCALE = 8
 
 
 _CACHE = {}
+
+
+@perf_benchmark("memsim.transposed", group="memsim",
+                description="cache-hierarchy replay of a transposed traversal")
+def perf_memsim_transposed(quick=False):
+    tree = build_tree(uniform_cube(1_000 if quick else 2_000, seed=3),
+                      tree_type="oct", bucket_size=16)
+
+    def run():
+        p = profile_traversal_style(
+            tree, style="transposed", n_cpus=1, cache_scale=16,
+            buckets_per_partition=48,
+        )
+        return {"accesses": p.n_accesses}
+
+    return run
 
 
 def _profiles():

@@ -9,6 +9,7 @@ our Python equivalents of exactly those three user artefacts.
 import pathlib
 
 from repro.bench import format_table, paper_reference, print_banner
+from repro.perf import benchmark as perf_benchmark
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
 
@@ -42,6 +43,18 @@ def count_code_lines(path: pathlib.Path) -> int:
             continue
         count += 1
     return count
+
+
+@perf_benchmark("meta.loc_count", group="meta",
+                description="user-code line counting (I/O-bound microbench)",
+                repeats=7, quick_repeats=5)
+def perf_loc_count(quick=False):
+    def run():
+        rows = [(name, count_code_lines(path), use)
+                for name, path, use in USER_CODE]
+        return {"total_lines": sum(r[1] for r in rows)}
+
+    return run
 
 
 def test_table3_loc(benchmark):

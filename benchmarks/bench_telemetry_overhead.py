@@ -11,17 +11,35 @@ counter absorption).  Run ``pytest benchmarks/bench_telemetry_overhead.py
 from repro.bench import build_gravity_workload, print_banner
 from repro.cache import WAITFREE
 from repro.obs import Telemetry, chrome_trace, use_telemetry
+from repro.perf import benchmark as perf_benchmark
 from repro.runtime import STAMPEDE2, simulate_traversal
 
 N_PROC = 16
 WORKERS = 24
 
 
-def _workload():
+def _workload(quick=False):
     return build_gravity_workload(
-        distribution="clustered", n=25_000, n_partitions=1024,
-        n_subtrees=1024, shared_branch_levels=4,
+        distribution="clustered", n=6_000 if quick else 25_000,
+        n_partitions=1024, n_subtrees=1024, shared_branch_levels=4,
     ).workload
+
+
+@perf_benchmark("obs.telemetry_des", group="obs",
+                description="DES run with a live telemetry session + trace export")
+def perf_telemetry_des(quick=False):
+    workload = _workload(quick)
+
+    def run():
+        telemetry = Telemetry()
+        with use_telemetry(telemetry):
+            simulate_traversal(
+                workload, machine=STAMPEDE2, n_processes=N_PROC,
+                workers_per_process=WORKERS, cache_model=WAITFREE,
+            )
+        return {"trace_events": len(chrome_trace(telemetry)["traceEvents"])}
+
+    return run
 
 
 def test_des_telemetry_disabled(benchmark):

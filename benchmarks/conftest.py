@@ -6,6 +6,14 @@ Every bench prints the regenerated table/figure; run with ``-s`` to see
 them, e.g.::
 
     pytest benchmarks/ --benchmark-only -s
+
+Each ``bench_*.py`` additionally registers its headline workload with the
+machine-readable harness in :mod:`repro.perf` via ``@benchmark("<id>", ...)``
+— a setup function taking ``quick=False`` that returns the zero-arg timed
+callable (no work happens at import time).  Those run through the CLI::
+
+    repro bench list
+    repro bench run --quick 'des.*'
 """
 
 import pytest

@@ -8,6 +8,10 @@ Examples::
     python -m repro disk --n 5000 --steps 40
     python -m repro correlation --n 2000
     python -m repro scale --n 20000 --cores 24 96 384
+    python -m repro scale --critical-path
+    python -m repro bench list
+    python -m repro bench run --quick
+    python -m repro bench compare BENCH_baseline.json BENCH_new.json
 """
 
 from __future__ import annotations
@@ -41,6 +45,25 @@ def _add_faults(p: argparse.ArgumentParser) -> None:
         help="inject faults, e.g. 'drop=0.05,fail=0.1,seed=3' "
              "(keys: drop, dup, jitter, fail, straggler=FxS, crash=P@R, "
              "seed, retries, timeout, backoff)")
+
+
+def _add_critical_path(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--critical-path", action="store_true",
+                   help="attribute simulated time to compute / cache-miss "
+                        "latency / queueing / barrier wait along the DES's "
+                        "longest dependency chain")
+
+
+def _print_critical_path_dict(cp: dict, indent: str = "  ") -> None:
+    """Render the ``critical_path`` sub-dict of a comm-sim summary."""
+    from .perf import format_components
+
+    print(f"{indent}critical path: "
+          + format_components(cp.get("components", {}), cp.get("makespan")))
+    top = sorted(cp.get("by_label", {}).items(), key=lambda kv: -kv[1])[:4]
+    makespan = cp.get("makespan") or 1.0
+    for label, secs in top:
+        print(f"{indent}  {label:<26} {secs * 1e3:10.3f} ms  {secs / makespan:6.1%}")
 
 
 def _fault_plan_from_args(args):
@@ -132,7 +155,7 @@ def cmd_gravity(args) -> int:
     p = clustered_clumps(args.n, seed=args.seed)
     telemetry = _telemetry_from_args(args)
     fault_plan = _fault_plan_from_args(args)
-    if telemetry is not None or fault_plan is not None:
+    if telemetry is not None or fault_plan is not None or args.critical_path:
         # Run the full Driver pipeline so the trace shows all seven
         # ``run_iteration`` phases (splitters ... rebalance), not just the
         # bare traversal.  Fault runs need the Driver too: the fault plan
@@ -155,6 +178,8 @@ def cmd_gravity(args) -> int:
             driver.enable_telemetry(telemetry)
         if fault_plan is not None:
             driver.enable_faults(fault_plan)
+        if args.critical_path:
+            driver.enable_critical_path()
         t0 = time.time()
         driver.run()
         print(f"traversal: {time.time() - t0:.2f}s  {driver.last_stats.as_dict()}")
@@ -167,8 +192,11 @@ def cmd_gravity(args) -> int:
                       f"({cs.get('reason')}, process={cs.get('process')}, "
                       f"attempts={cs.get('attempts')}) counters={cs.get('counters')}")
             else:
-                print(f"iteration {rep.iteration}: comm sim {cs['time'] * 1e3:.3f} ms "
-                      f"faults={cs.get('faults')}")
+                faults = f" faults={cs['faults']}" if cs.get("faults") else ""
+                print(f"iteration {rep.iteration}: comm sim {cs['time'] * 1e3:.3f} ms"
+                      + faults)
+                if cs.get("critical_path"):
+                    _print_critical_path_dict(cs["critical_path"])
         if args.check and args.n <= 20_000:
             exact = direct_accelerations(driver.particles, softening=args.softening)
             print("error vs direct sum: "
@@ -250,10 +278,20 @@ def cmd_disk(args) -> int:
     fault_plan = _fault_plan_from_args(args)
     if fault_plan is not None:
         d.enable_faults(fault_plan)
+    if args.critical_path:
+        d.enable_critical_path()
     t0 = time.time()
     d.run()
     print(f"{args.steps} steps in {time.time() - t0:.1f}s; "
           f"collisions recorded: {len(d.log)}")
+    if args.critical_path:
+        with_cp = [r for r in d.reports
+                   if r.comm_sim and r.comm_sim.get("critical_path")]
+        if with_cp:
+            rep = with_cp[-1]
+            print(f"iteration {rep.iteration} comm sim "
+                  f"{rep.comm_sim['time'] * 1e3:.3f} ms")
+            _print_critical_path_dict(rep.comm_sim["critical_path"])
     _finish_telemetry(telemetry, args)
     return 0
 
@@ -301,14 +339,79 @@ def cmd_scale(args) -> int:
             r = simulate_traversal(gw.workload, machine=machine,
                                    n_processes=max(cores // workers, 1),
                                    workers_per_process=workers, cache_model=model,
-                                   faults=fault_plan)
+                                   faults=fault_plan,
+                                   critical_path=args.critical_path,
+                                   collect_trace=args.critical_path)
         except IterationFailure as exc:
             print(f"  {cores:>7} cores: FAILED ({exc}) counters={exc.counters.to_dict()}")
             continue
         extra = f", faults={r.faults.to_dict()}" if r.faults is not None else ""
         print(f"  {cores:>7} cores: {r.time * 1e3:9.3f} ms, "
               f"{r.requests:,} requests, {r.bytes_moved / 1e6:.1f} MB{extra}")
+        if r.critical_path is not None:
+            for line in r.critical_path.format().splitlines():
+                print(f"    {line}")
     _finish_telemetry(telemetry, args)
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from .perf import (
+        compare_reports,
+        discover,
+        format_report,
+        get_registry,
+        load_report,
+        run_suite,
+        write_report,
+    )
+
+    if args.bench_cmd == "list":
+        discover()
+        registry = get_registry()
+        for d in registry:
+            print(f"{d.id:<28} [{d.group:<8}] {d.description}")
+        print(f"{len(registry)} benchmarks registered")
+        return 0
+
+    if args.bench_cmd == "run":
+        report = run_suite(
+            args.ids or None, quick=args.quick, repeats=args.repeats,
+            progress=None if args.no_progress else print,
+        )
+        path = write_report(report, path=args.output,
+                            artifacts_dir=args.artifacts)
+        print(format_report(report))
+        print(f"wrote {path}")
+        return 1 if any("error" in r for r in report["results"]) else 0
+
+    if args.bench_cmd == "compare":
+        try:
+            base = load_report(args.baseline)
+            new = load_report(args.new)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        result = compare_reports(base, new, rel_floor=args.rel_floor,
+                                 k_iqr=args.k_iqr)
+        if args.markdown:
+            out = result.markdown()
+            if args.markdown == "-":
+                print(out, end="")
+            else:
+                with open(args.markdown, "w") as fh:
+                    fh.write(out)
+                print(f"wrote markdown report to {args.markdown}")
+        print(result.format())
+        return 0 if args.warn_only else result.exit_code
+
+    # report
+    try:
+        doc = load_report(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_report(doc))
     return 0
 
 
@@ -328,6 +431,7 @@ def main(argv=None) -> int:
                    help="driver iterations (telemetry runs only)")
     _add_telemetry(g)
     _add_faults(g)
+    _add_critical_path(g)
     g.set_defaults(fn=cmd_gravity)
 
     s = sub.add_parser("sph", help="SPH density estimation")
@@ -353,6 +457,7 @@ def main(argv=None) -> int:
     d.add_argument("--radius", type=float, default=2.5e-3)
     _add_telemetry(d)
     _add_faults(d)
+    _add_critical_path(d)
     d.set_defaults(fn=cmd_disk)
 
     c = sub.add_parser("correlation", help="two-point correlation function")
@@ -376,7 +481,45 @@ def main(argv=None) -> int:
     sc.add_argument("--cores", type=int, nargs="+", default=[24, 96, 384, 1536])
     _add_telemetry(sc)
     _add_faults(sc)
+    _add_critical_path(sc)
     sc.set_defaults(fn=cmd_scale)
+
+    b = sub.add_parser("bench", help="benchmark harness (run/list/compare/report)")
+    bsub = b.add_subparsers(dest="bench_cmd", required=True)
+
+    br = bsub.add_parser("run", help="run registered benchmarks, write BENCH_*.json")
+    br.add_argument("ids", nargs="*",
+                    help="benchmark IDs or globs (default: all), e.g. 'des.*'")
+    br.add_argument("--quick", action="store_true",
+                    help="scaled-down workloads, fewer repeats (CI smoke)")
+    br.add_argument("--repeats", type=int, default=None,
+                    help="override the per-benchmark repeat count")
+    br.add_argument("--output", "-o", default=None,
+                    help="output path (default: BENCH_<timestamp>.json)")
+    br.add_argument("--artifacts", default=None,
+                    help="also write one JSON artifact per benchmark here")
+    br.add_argument("--no-progress", action="store_true")
+    br.set_defaults(fn=cmd_bench)
+
+    bl = bsub.add_parser("list", help="list registered benchmarks")
+    bl.set_defaults(fn=cmd_bench)
+
+    bc = bsub.add_parser("compare", help="noise-aware regression check of two BENCH files")
+    bc.add_argument("baseline")
+    bc.add_argument("new")
+    bc.add_argument("--rel-floor", type=float, default=0.25,
+                    help="relative regression floor (default 0.25)")
+    bc.add_argument("--k-iqr", type=float, default=3.0,
+                    help="noise multiplier on the larger IQR (default 3.0)")
+    bc.add_argument("--markdown", metavar="PATH", default=None,
+                    help="write a markdown report ('-' for stdout)")
+    bc.add_argument("--warn-only", action="store_true",
+                    help="always exit 0 (CI smoke against a stale baseline)")
+    bc.set_defaults(fn=cmd_bench)
+
+    bp = bsub.add_parser("report", help="render one BENCH file as a console table")
+    bp.add_argument("path")
+    bp.set_defaults(fn=cmd_bench)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -169,6 +169,7 @@ class Driver:
         self.telemetry: Telemetry = NULL_TELEMETRY
         self._telemetry_lists: InteractionLists | None = None
         self.fault_plan = None
+        self.critical_path = False
 
     # -- user hooks ---------------------------------------------------------
     def configure(self, config: Configuration) -> None:
@@ -231,6 +232,19 @@ class Driver:
         if isinstance(plan, str):
             plan = parse_fault_spec(plan)
         self.fault_plan = plan
+
+    def enable_critical_path(self, enabled: bool = True) -> None:
+        """Attribute each iteration's simulated communication schedule.
+
+        Every subsequent iteration replays its recorded traversal through
+        the DES communication model (fault-free unless a fault plan is also
+        attached) with critical-path recording on, and stores the
+        :class:`~repro.perf.critical_path.CriticalPathReport` —
+        longest-dependency-chain attribution over {compute, cache-miss
+        latency, queueing, barrier wait} — under
+        ``IterationReport.comm_sim["critical_path"]``.
+        """
+        self.critical_path = bool(enabled)
 
     def run(self) -> list[IterationReport]:
         self.configure(self.config)
@@ -311,7 +325,7 @@ class Driver:
                 self._load_recorder = BucketLoadRecorder(self.tree) if want_lb else None
                 # Interaction lists feed the telemetry cache statistics and
                 # (when a fault plan is attached) the faulted comm replay.
-                want_lists = tel.enabled or self.fault_plan is not None
+                want_lists = tel.enabled or self.fault_plan is not None or self.critical_path
                 self._telemetry_lists = InteractionLists() if want_lists else None
                 self.traversal(iteration)
 
@@ -335,9 +349,10 @@ class Driver:
                     self._pending_assignment = new_parts
                 self._load_recorder = None
 
-            # 8. Faulted communication replay (only when a plan is attached).
+            # 8. Communication replay (when a fault plan is attached and/or
+            # critical-path attribution is requested).
             comm_sim = None
-            if self.fault_plan is not None:
+            if self.fault_plan is not None or self.critical_path:
                 with tracer.span("comm_sim", cat="driver.phase"):
                     comm_sim = self._simulate_comm(iteration)
 
@@ -360,7 +375,8 @@ class Driver:
 
     def _simulate_comm(self, iteration: int) -> dict[str, Any] | None:
         """Replay the iteration's recorded traversal through the DES with
-        the attached fault plan.  Completes gracefully either way: a
+        the attached fault plan (or fault-free, when only critical-path
+        attribution was requested).  Completes gracefully either way: a
         finished sim returns its summary (time, fault counters); exhausted
         retries return the structured failure instead of raising — the
         driver's real results are already in hand, only the simulated
@@ -383,6 +399,8 @@ class Driver:
                 n_processes=cfg.num_partitions,
                 faults=self.fault_plan,
                 telemetry=self.telemetry if self.telemetry.enabled else None,
+                critical_path=self.critical_path,
+                collect_trace=self.critical_path,
             )
         except IterationFailure as exc:
             out = exc.to_dict()

@@ -28,8 +28,17 @@ __all__ = [
 def chrome_trace(telemetry_or_tracer, **other_data: Any) -> dict[str, Any]:
     """The trace as a JSON-ready dict ``{"traceEvents": [...]}``."""
     tracer = getattr(telemetry_or_tracer, "tracer", telemetry_or_tracer)
+    events: list[dict[str, Any]] = list(tracer.events)
+    # Name the critical-path lane(s) so the highlighted track reads as such
+    # in Perfetto; "M" metadata events are the format's naming mechanism.
+    cp_pids = sorted({e["pid"] for e in events if e.get("cat") == "critical-path"})
+    meta = [
+        {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+         "args": {"name": "⚑ critical path"}}
+        for pid in cp_pids
+    ]
     doc: dict[str, Any] = {
-        "traceEvents": list(tracer.events),
+        "traceEvents": meta + events,
         "displayTimeUnit": "ms",
     }
     if other_data:

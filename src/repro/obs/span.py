@@ -119,6 +119,20 @@ class Tracer:
             self._emit(label, cat, start, end - start, pid_offset + process, worker, {})
         return len(trace.intervals)
 
+    def record_critical_path(self, report, pid: int = -1,
+                             cat: str = "critical-path") -> int:
+        """Render a :class:`~repro.perf.critical_path.CriticalPathReport`
+        as its own highlighted track: one complete event per chain segment
+        on a dedicated pid, so Perfetto shows the longest dependency chain
+        as a contiguous lane above the worker timelines.
+
+        Returns the number of events recorded.
+        """
+        for seg in report.segments:
+            self._emit(seg.label, cat, seg.start, seg.duration, pid, 0,
+                       {"kind": seg.kind, "resource": seg.resource})
+        return len(report.segments)
+
     def _emit(self, name: str, cat: str, start: float, dur: float,
               pid: int, tid: int, args: dict[str, Any]) -> None:
         self.events.append({
@@ -177,6 +191,10 @@ class NullTracer:
 
     def record_activity_trace(self, trace, cat: str = "des",
                               pid_offset: int = 0) -> int:
+        return 0
+
+    def record_critical_path(self, report, pid: int = -1,
+                             cat: str = "critical-path") -> int:
         return 0
 
     def find(self, name: str) -> list:

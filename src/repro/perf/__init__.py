@@ -1,0 +1,78 @@
+"""The performance observatory: benchmark harness, regression gating, and
+DES critical-path analysis.
+
+The paper's whole evaluation is a performance story (Figures 9–13, Tables
+I–III); this package is the machinery that keeps the reproduction's own
+performance story machine-readable:
+
+* :mod:`repro.perf.registry` — ``@benchmark``-registered workloads with
+  stable IDs, discovered from ``benchmarks/bench_*.py``;
+* :mod:`repro.perf.harness` — warmup + repeated timed runs, robust
+  statistics (median/IQR, MAD outlier rejection), environment
+  fingerprints, and schema-versioned ``BENCH_<timestamp>.json`` output;
+* :mod:`repro.perf.compare` — noise-aware baseline comparison with a
+  markdown report and a CI exit code;
+* :mod:`repro.perf.critical_path` — records the dependency edges the DES
+  resolves and attributes end-to-end simulated time to
+  {compute, cache-miss latency, queueing, barrier wait}.
+
+CLI::
+
+    python -m repro bench list
+    python -m repro bench run --quick
+    python -m repro bench compare BENCH_baseline.json BENCH_new.json
+    python -m repro bench report BENCH_new.json
+    python -m repro scale --critical-path
+"""
+
+from .critical_path import (
+    CP_KINDS,
+    CPNode,
+    CPRecorder,
+    CPSegment,
+    CriticalPathReport,
+    analyze_critical_path,
+    format_components,
+)
+from .registry import BenchmarkDef, BenchmarkRegistry, benchmark, discover, get_registry
+from .harness import (
+    SCHEMA,
+    SCHEMA_VERSION,
+    environment_fingerprint,
+    format_report,
+    load_report,
+    robust_stats,
+    run_one,
+    run_suite,
+    validate_report,
+    write_report,
+)
+from .compare import BenchDelta, ComparisonResult, compare_reports
+
+__all__ = [
+    "CP_KINDS",
+    "CPNode",
+    "CPRecorder",
+    "CPSegment",
+    "CriticalPathReport",
+    "analyze_critical_path",
+    "format_components",
+    "BenchmarkDef",
+    "BenchmarkRegistry",
+    "benchmark",
+    "discover",
+    "get_registry",
+    "SCHEMA",
+    "SCHEMA_VERSION",
+    "environment_fingerprint",
+    "format_report",
+    "load_report",
+    "robust_stats",
+    "run_one",
+    "run_suite",
+    "validate_report",
+    "write_report",
+    "BenchDelta",
+    "ComparisonResult",
+    "compare_reports",
+]

@@ -129,19 +129,30 @@ class FifoResource:
         self.sim = sim
         self.capacity = capacity
         self._busy = 0
-        self._queue: deque[tuple[float, Callable[[], None] | None, Callable[[], None] | None]] = deque()
+        self._queue: deque[tuple] = deque()
         self.busy_time = 0.0
         self.jobs_served = 0
         self.max_queue = 0
+        #: critical-path recording (a ``repro.perf.critical_path.CPRecorder``
+        #: or None).  When set, every job records a queue-wait node (if it
+        #: waited) plus a service node, and ``cp_last`` holds the service
+        #: node id during the job's ``on_start``/``on_done`` callbacks so
+        #: downstream submissions can chain causally.
+        self.cp = None
+        self.cp_last: int | None = None
+        self.cp_label = "service"
+        self.cp_kind = "compute"
+        self.cp_resource = "fifo"
 
     def submit(
         self,
         service_time: float,
         on_done: Callable[[], None] | None = None,
         on_start: Callable[[], None] | None = None,
+        cp: int | None = None,
     ) -> None:
         _check_service_time(service_time)
-        self._queue.append((service_time, on_done, on_start))
+        self._queue.append((service_time, on_done, on_start, cp, self.sim.now))
         self.max_queue = max(self.max_queue, len(self._queue))
         self._try_start()
 
@@ -151,20 +162,37 @@ class FifoResource:
         adaptive request timeouts)."""
         return self._busy + len(self._queue)
 
-    def _try_start(self) -> None:
+    def _try_start(self, freed: int | None = None) -> None:
         while self._busy < self.capacity and self._queue:
-            service_time, on_done, on_start = self._queue.popleft()
+            service_time, on_done, on_start, cp_pred, t_enq = self._queue.popleft()
             self._busy += 1
+            node = None
+            if self.cp is not None:
+                now = self.sim.now
+                preds = (cp_pred,)
+                if now > t_enq:
+                    # A job that waited was held up by the occupant that just
+                    # freed the slot; that edge lets the critical path follow
+                    # the contended server instead of charging the wait.
+                    wait = self.cp.add(self.cp_label + " wait", "queue",
+                                       t_enq, now, self.cp_resource,
+                                       (cp_pred, freed))
+                    preds = (wait,)
+                node = self.cp.add(self.cp_label, self.cp_kind,
+                                   now, now + service_time, self.cp_resource, preds)
+                self.cp_last = node
             if on_start:
                 on_start()
             self.busy_time += service_time
             self.jobs_served += 1
 
-            def finish(done=on_done):
+            def finish(done=on_done, node=node):
                 self._busy -= 1
+                if self.cp is not None:
+                    self.cp_last = node
                 if done:
                     done()
-                self._try_start()
+                self._try_start(freed=node)
 
             self.sim.schedule(service_time, finish)
 
@@ -187,27 +215,34 @@ class WorkerPool:
         self.n_workers = n_workers
         self.trace = trace
         self.process_id = process_id
-        Task = tuple[float, str, Callable[[], None] | None, Callable[[], None] | None]
-        self._shared: deque[Task] = deque()
-        self._bound: list[deque[Task]] = [deque() for _ in range(n_workers)]
+        # Task: (service_time, label, on_done, on_start, cp_pred, enqueue_time)
+        self._shared: deque[tuple] = deque()
+        self._bound: list[deque[tuple]] = [deque() for _ in range(n_workers)]
         self._idle: list[bool] = [True] * n_workers
         #: committed-but-unfinished service time per worker, used for the
         #: least-busy heuristic.
         self._backlog: list[float] = [0.0] * n_workers
         self.busy_time = 0.0
         self.tasks_run = 0
+        #: critical-path recording (a ``repro.perf.critical_path.CPRecorder``
+        #: or None).  ``cp_last`` holds the id of the node whose task is
+        #: currently inside ``on_start``/``on_done``.
+        self.cp = None
+        self.cp_last: int | None = None
 
     # -- submission ---------------------------------------------------------
-    def submit(self, service_time: float, label: str = "work", on_done=None, on_start=None) -> None:
+    def submit(self, service_time: float, label: str = "work", on_done=None,
+               on_start=None, cp: int | None = None) -> None:
         _check_service_time(service_time)
-        self._shared.append((service_time, label, on_done, on_start))
+        self._shared.append((service_time, label, on_done, on_start, cp, self.sim.now))
         self._wake_one()
 
-    def submit_to_least_busy(self, service_time: float, label: str = "fill", on_done=None) -> None:
+    def submit_to_least_busy(self, service_time: float, label: str = "fill",
+                             on_done=None, cp: int | None = None) -> None:
         _check_service_time(service_time)
         w = min(range(self.n_workers), key=lambda i: (self._backlog[i], i))
         self._backlog[w] += service_time
-        self._bound[w].append((service_time, label, on_done, None))
+        self._bound[w].append((service_time, label, on_done, None, cp, self.sim.now))
         if self._idle[w]:
             self._run_next(w)
 
@@ -218,7 +253,7 @@ class WorkerPool:
         _check_service_time(service_time)
         for w in range(self.n_workers):
             self._backlog[w] += service_time
-            self._bound[w].appendleft((service_time, label, None, None))
+            self._bound[w].appendleft((service_time, label, None, None, None, self.sim.now))
             if self._idle[w]:
                 self._run_next(w)
 
@@ -229,21 +264,35 @@ class WorkerPool:
                 self._run_next(w)
                 return
 
-    def _run_next(self, w: int) -> None:
+    def _run_next(self, w: int, freed: int | None = None) -> None:
         # Bound tasks first (they were targeted deliberately), then shared.
         if self._bound[w]:
-            service_time, label, on_done, on_start = self._bound[w].popleft()
+            service_time, label, on_done, on_start, cp_pred, t_enq = self._bound[w].popleft()
             bound = True
         elif self._shared:
-            service_time, label, on_done, on_start = self._shared.popleft()
+            service_time, label, on_done, on_start, cp_pred, t_enq = self._shared.popleft()
             bound = False
         else:
             self._idle[w] = True
             return
         self._idle[w] = False
+        start = self.sim.now
+        node = None
+        if self.cp is not None:
+            resource = f"p{self.process_id}.w{w}"
+            preds = (cp_pred,)
+            if start > t_enq:
+                # The task that just vacated this worker is what held the
+                # queued task up; the edge routes the critical path through
+                # the busy worker's own task chain.
+                wait = self.cp.add(label + " wait", "queue", t_enq, start,
+                                   resource, (cp_pred, freed))
+                preds = (wait,)
+            node = self.cp.add(label, "compute", start, start + service_time,
+                               resource, preds)
+            self.cp_last = node
         if on_start:
             on_start()
-        start = self.sim.now
         self.busy_time += service_time
         self.tasks_run += 1
 
@@ -252,9 +301,11 @@ class WorkerPool:
                 self._backlog[w] -= service_time
             if self.trace is not None:
                 self.trace.record(self.process_id, w, start, self.sim.now, label)
+            if self.cp is not None:
+                self.cp_last = node
             if on_done:
                 on_done()
-            self._run_next(w)
+            self._run_next(w, freed=node)
 
         self.sim.schedule(service_time, finish)
 

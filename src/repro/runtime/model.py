@@ -38,9 +38,10 @@ import numpy as np
 from ..cache.models import CacheModel, RetryPolicy, WAITFREE
 from ..faults import FaultCounters, FaultInjector, FaultPlan, IterationFailure, as_injector
 from ..obs import Telemetry, get_telemetry
+from ..perf.critical_path import CPRecorder, CriticalPathReport, analyze_critical_path
 from .des import FifoResource, Simulator, WorkerPool
 from .machine import MachineSpec, STAMPEDE2
-from .tracing import ActivityTrace, activity_totals
+from .tracing import ActivityTrace, activity_totals, barrier_waits
 from .workload import CostModel, WorkloadSpec
 
 __all__ = ["SimResult", "TraversalSim", "simulate_traversal"]
@@ -62,6 +63,8 @@ class SimResult:
     events: int = 0
     #: injected-fault and recovery counters (None when no injector ran)
     faults: FaultCounters | None = None
+    #: critical-path attribution (None unless ``critical_path=True``)
+    critical_path: CriticalPathReport | None = None
 
     @property
     def total_cores(self) -> int:
@@ -88,6 +91,8 @@ class SimResult:
         }
         if self.faults is not None:
             out["faults"] = self.faults.to_dict()
+        if self.critical_path is not None:
+            out["critical_path"] = self.critical_path.to_dict()
         return out
 
 
@@ -127,6 +132,7 @@ class TraversalSim:
         processes_per_node: int = 1,
         telemetry: Telemetry | None = None,
         faults: FaultPlan | FaultInjector | None = None,
+        critical_path: bool = False,
     ) -> None:
         self.workload = workload
         self.machine = machine
@@ -184,6 +190,29 @@ class TraversalSim:
         self._slow: list[float] = [1.0] * n_processes
         #: processes currently down (process -> restart-complete time)
         self._crashed_until: dict[int, float] = {}
+        # Critical-path recording: one shared event graph; the pools and
+        # FIFO resources record their own queue/service nodes, the request
+        # lifecycle below records the wire legs.  None keeps every hook on
+        # the `is not None` fast path.
+        self.cp: CPRecorder | None = CPRecorder() if critical_path else None
+        if self.cp is not None:
+            for pool in self.pools:
+                pool.cp = self.cp
+            for p, res in enumerate(self.comm_threads):
+                res.cp = self.cp
+                res.cp_label = "response serialize"
+                res.cp_kind = "latency"
+                res.cp_resource = f"comm.p{p}"
+            for p, res in enumerate(self.pipes):
+                res.cp = self.cp
+                res.cp_label = "response send"
+                res.cp_kind = "latency"
+                res.cp_resource = f"pipe.p{p}"
+            for p, res in enumerate(self.writers):
+                res.cp = self.cp
+                res.cp_label = "cache insertion"
+                res.cp_kind = "compute"
+                res.cp_resource = f"writer.p{p}"
 
     def _latency(self, a: int, b: int) -> float:
         if a // self.processes_per_node == b // self.processes_per_node:
@@ -198,7 +227,7 @@ class TraversalSim:
             return (thread % self.workers, group)
         return (0, group)
 
-    def _enable(self, proc: int, state: _GroupState) -> None:
+    def _enable(self, proc: int, state: _GroupState, cp: int | None = None) -> None:
         if state.timer is not None:
             # The fill landed: disarm the pending timeout so the fault-free
             # timeline (and final clock) is untouched by the timer.
@@ -209,9 +238,10 @@ class TraversalSim:
         state.waiters = []
         slow = self._slow[proc]
         for work in waiters:
-            self.pools[proc].submit(work * slow, label="traversal resumption")
+            self.pools[proc].submit(work * slow, label="traversal resumption", cp=cp)
 
-    def _request_group(self, proc: int, group: int, thread_hint: int) -> _GroupState:
+    def _request_group(self, proc: int, group: int, thread_hint: int,
+                       origin: int | None = None) -> _GroupState:
         """Issue (or join) the fetch of ``group`` on process ``proc``."""
         thread = thread_hint % self.workers
         state = self.states[proc].setdefault(self._cache_key(group, thread), _GroupState())
@@ -235,18 +265,23 @@ class TraversalSim:
         self.requests += 1
         home = int(self.st_proc[self.workload.groups.group_subtree[group]])
         size = float(self.workload.groups.group_bytes[group])
-        self._issue_request(proc, home, state, group, size, attempt=0)
+        self._issue_request(proc, home, state, group, size, attempt=0, origin=origin)
         return state
 
     def _issue_request(
         self, proc: int, home: int, state: _GroupState, group: int,
-        size: float, attempt: int,
+        size: float, attempt: int, origin: int | None = None,
     ) -> None:
         """One physical send of the request, with per-leg faults applied
         and (on fault runs) a cancellable timeout that re-sends with
         exponential backoff."""
         sim = self.sim
         inj = self.injector
+        cp = self.cp
+        # Wire-leg nodes of this send, threaded through the closures so the
+        # serialize -> send -> insert chain records causal edges.
+        cp_req: list[int | None] = [None]
+        cp_ret: list[int | None] = [None]
         send_time = size / self.machine.net_bandwidth_Bps
         # Stragglers slow CPU-bound steps: the home's serialization and the
         # requester's insertion, not wire latency or bandwidth.
@@ -266,18 +301,29 @@ class TraversalSim:
             self.bytes_moved += size
             self.comm_threads[home].submit(
                 serialize_time,
-                on_done=lambda: self.pipes[home].submit(send_time, on_done=back_in_flight),
+                on_done=lambda: self.pipes[home].submit(
+                    send_time, on_done=back_in_flight,
+                    cp=self.comm_threads[home].cp_last if cp is not None else None,
+                ),
+                cp=cp_req[0],
             )
 
         def back_in_flight():
             latency = self._latency(home, proc)
             if inj is None:
-                sim.schedule(latency, do_insert)
-                return
-            if inj.drop_message():
-                return  # response lost; the timeout will re-send
-            sim.schedule(inj.jittered(latency), do_insert)
-            if inj.duplicate_message():
+                delay = latency
+            else:
+                if inj.drop_message():
+                    return  # response lost; the timeout will re-send
+                delay = inj.jittered(latency)
+            if cp is not None:
+                cp_ret[0] = cp.add(
+                    "response wire", "latency", sim.now, sim.now + delay,
+                    f"net.p{home}-p{proc}",
+                    (self.pipes[home].cp_last,) if self.pipes[home].cp_last is not None else (),
+                )
+            sim.schedule(delay, do_insert)
+            if inj is not None and inj.duplicate_message():
                 sim.schedule(inj.jittered(latency), do_insert)
 
         def do_insert():
@@ -308,35 +354,55 @@ class TraversalSim:
                 # Wait-free: any worker inserts; dispatched to the least busy.
                 self.pools[proc].submit_to_least_busy(
                     insert_time, label="cache insertion",
-                    on_done=lambda: self._enable(proc, state),
+                    on_done=lambda: self._enable(
+                        proc, state, cp=self.pools[proc].cp_last),
+                    cp=cp_ret[0],
                 )
             elif policy == "locked":
                 # Exclusive write: the inserting worker spins until the
                 # process-wide lock frees, then holds it for the insert —
                 # both the wait and the insert burn worker time, which is
                 # the degradation mechanism the paper observes at scale.
+                # (On the critical path the lock wait is folded into the
+                # insertion's compute time — it burns the worker either way.)
                 now = sim.now
                 wait = max(0.0, self.mutex_free_at[proc] - now)
                 self.mutex_free_at[proc] = now + wait + insert_time
                 self.pools[proc].submit_to_least_busy(
                     wait + insert_time, label="cache insertion",
-                    on_done=lambda: self._enable(proc, state),
+                    on_done=lambda: self._enable(
+                        proc, state, cp=self.pools[proc].cp_last),
+                    cp=cp_ret[0],
                 )
             else:  # single_thread
                 # All fills funnel through the one designated writer; the
                 # queue at that writer delays dependent traversals.
                 self.writers[proc].submit(
-                    insert_time, on_done=lambda: self._enable(proc, state)
+                    insert_time,
+                    on_done=lambda: self._enable(
+                        proc, state, cp=self.writers[proc].cp_last),
+                    cp=cp_ret[0],
                 )
 
         latency_out = self._latency(proc, home)
         if inj is None:
+            if cp is not None:
+                cp_req[0] = cp.add(
+                    "request wire", "latency", sim.now, sim.now + latency_out,
+                    f"net.p{proc}-p{home}", (origin,) if origin is not None else (),
+                )
             sim.schedule(latency_out, arrive_home)
             return
         # Fault path: apply request-leg faults and arm the retry timeout.
         sent_at = sim.now
         if not inj.drop_message():
-            sim.schedule(inj.jittered(latency_out), arrive_home)
+            delay_out = inj.jittered(latency_out)
+            if cp is not None:
+                cp_req[0] = cp.add(
+                    "request wire", "latency", sim.now, sim.now + delay_out,
+                    f"net.p{proc}-p{home}", (origin,) if origin is not None else (),
+                )
+            sim.schedule(delay_out, arrive_home)
             if inj.duplicate_message():
                 sim.schedule(inj.jittered(latency_out), arrive_home)
         state.attempts = attempt + 1
@@ -443,7 +509,8 @@ class TraversalSim:
         self.pools[proc].preempt_all(restart_delay, label="restart")
 
     def _export_telemetry(
-        self, telemetry: Telemetry, total_time: float, activity: dict[str, float]
+        self, telemetry: Telemetry, total_time: float, activity: dict[str, float],
+        cp_report: CriticalPathReport | None = None,
     ) -> None:
         """Fold the finished simulation into the telemetry session: every
         worker-task interval becomes a trace event on simulated time (pid =
@@ -462,6 +529,10 @@ class TraversalSim:
             metrics.counter("des.busy_seconds", model=model, activity=label).inc(seconds)
         if self.injector is not None:
             metrics.absorb_fault_counters(self.injector.counters, model=model)
+        if cp_report is not None:
+            telemetry.tracer.record_critical_path(cp_report)
+            for kind, seconds in cp_report.components.items():
+                metrics.gauge("des.critical_path", model=model, kind=kind).set(seconds)
 
     # -- main -------------------------------------------------------------------
     def run(self) -> SimResult:
@@ -510,17 +581,23 @@ class TraversalSim:
 
             def start_bucket(proc=proc, remote=remote, hint=thread_hints[seq]):
                 slow = self._slow[proc]
+                # The local traversal task that is just starting is the
+                # causal origin of every request it issues.
+                origin = self.pools[proc].cp_last if self.cp is not None else None
                 # Issuing the requests costs worker time ("cache request").
                 for g, w in remote:
-                    state = self._request_group(proc, g, thread_hint=hint)
+                    state = self._request_group(proc, g, thread_hint=hint,
+                                                origin=origin)
                     if state.present:
-                        self.pools[proc].submit(w * slow, label="traversal resumption")
+                        self.pools[proc].submit(w * slow,
+                                                label="traversal resumption",
+                                                cp=origin)
                     else:
                         state.waiters.append(w)
                 if remote:
                     self.pools[proc].submit(
                         self.cost.request_cpu * len(remote) * slow,
-                        label="cache request",
+                        label="cache request", cp=origin,
                     )
 
             # Requests go out when this bucket's local traversal *starts*
@@ -541,8 +618,16 @@ class TraversalSim:
         activity = activity_totals(self.trace) if self.trace else {
             "busy": sum(p.busy_time for p in self.pools)
         }
+        cp_report = None
+        if self.cp is not None:
+            cp_report = analyze_critical_path(
+                self.cp,
+                makespan=total_time,
+                barrier_wait=(barrier_waits(self.trace, total_time)
+                              if self.trace is not None else None),
+            )
         if telemetry.enabled:
-            self._export_telemetry(telemetry, total_time, activity)
+            self._export_telemetry(telemetry, total_time, activity, cp_report)
         return SimResult(
             time=total_time,
             n_processes=self.n_processes,
@@ -555,6 +640,7 @@ class TraversalSim:
             trace=self.trace,
             events=self.sim.events_processed,
             faults=self.injector.counters if self.injector is not None else None,
+            critical_path=cp_report,
         )
 
 
@@ -570,6 +656,7 @@ def simulate_traversal(
     processes_per_node: int = 1,
     telemetry: Telemetry | None = None,
     faults: FaultPlan | FaultInjector | None = None,
+    critical_path: bool = False,
 ) -> SimResult:
     """Convenience wrapper: configure and run one :class:`TraversalSim`."""
     return TraversalSim(
@@ -584,4 +671,5 @@ def simulate_traversal(
         processes_per_node=processes_per_node,
         telemetry=telemetry,
         faults=faults,
+        critical_path=critical_path,
     ).run()

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["ActivityTrace", "utilization_profile", "activity_totals"]
+__all__ = ["ActivityTrace", "utilization_profile", "activity_totals", "barrier_waits"]
 
 
 @dataclass
@@ -49,6 +49,22 @@ def activity_totals(trace: ActivityTrace) -> dict[str, float]:
     for _, _, start, end, label in trace.intervals:
         out[label] = out.get(label, 0.0) + (end - start)
     return out
+
+
+def barrier_waits(trace: ActivityTrace, makespan: float) -> dict[int, float]:
+    """End-of-iteration wait per simulated process.
+
+    The iteration time is the slowest process's finish time; every other
+    process idles from its own last task until then (the implicit barrier
+    before the next iteration).  This is the "barrier wait" component the
+    critical-path report carries alongside its on-chain attribution.
+    """
+    last_end: dict[int, float] = {}
+    for process, _worker, _start, end, _label in trace.intervals:
+        if end > last_end.get(process, 0.0):
+            last_end[process] = end
+    return {int(p): float(max(makespan - e, 0.0))
+            for p, e in sorted(last_end.items())}
 
 
 def utilization_profile(

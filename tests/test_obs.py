@@ -27,6 +27,7 @@ from repro.obs import (
     MetricsRegistry,
     Telemetry,
     Tracer,
+    chrome_trace,
     console_report,
     get_telemetry,
     metrics_dict,
@@ -366,3 +367,69 @@ class TestVectorizedProfiles:
             vals, cnt = np.unique(pp[s:e], return_counts=True)
             ref[leaf] = vals[np.argmax(cnt)]
         assert np.array_equal(got, ref)
+
+
+class TestChromeTraceEdgeCases:
+    """Export corner cases: empty sessions, zero-width spans, metrics-only."""
+
+    def test_empty_trace_exports_valid_document(self, tmp_path):
+        telemetry = Telemetry()
+        doc = chrome_trace(telemetry)
+        assert doc["traceEvents"] == []
+        assert doc["displayTimeUnit"] == "ms"
+        path = tmp_path / "empty.json"
+        assert write_chrome_trace(telemetry, str(path)) == 0
+        assert json.loads(path.read_text())["traceEvents"] == []
+
+    def test_identical_timestamps_zero_duration(self, tmp_path):
+        tracer = Tracer(clock=lambda: 7.0)  # frozen clock
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        tracer.complete("c", 7.0, 7.0)
+        doc = chrome_trace(tracer)
+        assert len(doc["traceEvents"]) == 3
+        for e in doc["traceEvents"]:
+            assert e["ph"] == "X"
+            assert e["ts"] == pytest.approx(7.0 * 1e6)
+            assert e["dur"] == 0.0
+        # still serializable and round-trippable
+        path = tmp_path / "zero.json"
+        telemetry = Telemetry()
+        telemetry.tracer = tracer
+        write_chrome_trace(telemetry, str(path))
+        assert len(json.loads(path.read_text())["traceEvents"]) == 3
+
+    def test_metrics_only_export(self, tmp_path):
+        telemetry = Telemetry()
+        telemetry.metrics.counter("jobs").inc(3)
+        telemetry.metrics.gauge("depth").set(11.0)
+        # no spans at all: trace export is empty but valid...
+        assert chrome_trace(telemetry)["traceEvents"] == []
+        # ...while every metrics exporter still carries the data.
+        assert len(metrics_dict(telemetry)["metrics"]) == 2
+        jpath = tmp_path / "m.json"
+        cpath = tmp_path / "m.csv"
+        assert write_metrics_json(telemetry, str(jpath)) == 2
+        assert write_metrics_csv(telemetry, str(cpath)) == 2
+        names = {m["name"] for m in json.loads(jpath.read_text())["metrics"]}
+        assert names == {"jobs", "depth"}
+        report = console_report(telemetry)
+        assert "jobs" in report and "spans" not in report
+
+    def test_critical_path_lane_named_in_metadata(self):
+        from repro.perf import CPRecorder, analyze_critical_path
+
+        rec = CPRecorder()
+        a = rec.add("work", "compute", 0.0, 1.0)
+        rec.add("send", "latency", 1.0, 1.5, preds=(a,))
+        report = analyze_critical_path(rec)
+        tracer = Tracer()
+        assert tracer.record_critical_path(report) == len(report.segments)
+        doc = chrome_trace(tracer)
+        meta = [e for e in doc["traceEvents"] if e.get("ph") == "M"]
+        assert meta and meta[0]["args"]["name"] == "⚑ critical path"
+        assert meta[0]["pid"] == -1
+        lanes = [e for e in doc["traceEvents"]
+                 if e.get("cat") == "critical-path"]
+        assert [e["name"] for e in lanes] == ["work", "send"]

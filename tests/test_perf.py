@@ -1,0 +1,395 @@
+"""The performance observatory: harness statistics, BENCH round-trips,
+regression gating, and DES critical-path analysis.
+
+Covers the acceptance bars the PR promises:
+
+* robust statistics (median/IQR, 5x-MAD outlier rejection);
+* BENCH documents round-trip through write/load with schema validation;
+* the regression detector flags an artificial 2x slowdown and exits 0 on
+  identical runs;
+* the critical-path extractor returns the longest chain on a hand-built
+  event graph and its components tile ``[0, makespan]`` exactly;
+* ``critical_path=True`` on a real DES run attributes the end-to-end
+  simulated time within 1% without perturbing the simulation itself.
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.bench import build_gravity_workload
+from repro.cache import SEQUENTIAL, WAITFREE
+from repro.perf import (
+    BenchmarkRegistry,
+    CPRecorder,
+    analyze_critical_path,
+    benchmark,
+    compare_reports,
+    format_components,
+    format_report,
+    load_report,
+    robust_stats,
+    run_one,
+    run_suite,
+    validate_report,
+    write_report,
+)
+from repro.runtime import STAMPEDE2, simulate_traversal
+
+
+class TestRobustStats:
+    def test_median_iqr_odd_even(self):
+        s = robust_stats([3.0, 1.0, 2.0])
+        assert s["median"] == 2.0
+        s = robust_stats([1.0, 2.0, 3.0, 4.0])
+        assert s["median"] == 2.5
+        assert s["iqr"] == pytest.approx(1.5)
+
+    def test_outlier_rejection_5_mad(self):
+        # nine tight samples + one 100x burst: the burst is rejected and
+        # leaves the median untouched.
+        samples = [1.0, 1.01, 0.99, 1.0, 1.02, 0.98, 1.0, 1.01, 0.99, 100.0]
+        s = robust_stats(samples)
+        assert s["n_outliers"] == 1
+        assert s["n_samples"] == 10
+        assert s["median"] == pytest.approx(1.0, abs=0.02)
+        assert s["max"] < 2.0
+
+    def test_degenerate_counts(self):
+        assert robust_stats([])["median"] is None
+        one = robust_stats([0.5])
+        assert one["median"] == 0.5 and one["iqr"] == 0.0
+        two = robust_stats([1.0, 2.0])  # too few for rejection
+        assert two["n_outliers"] == 0
+
+    def test_identical_samples_zero_spread(self):
+        s = robust_stats([2.0] * 5)
+        assert s["median"] == 2.0
+        assert s["iqr"] == 0.0 and s["mad"] == 0.0 and s["n_outliers"] == 0
+
+
+def _fake_registry(step_s: float = 1e-3):
+    """A private registry with one benchmark whose 'runtime' is dictated by
+    an injected timer (each ``timer()`` call advances by ``step_s``)."""
+    reg = BenchmarkRegistry()
+
+    @benchmark("fake.unit", group="fake", description="deterministic",
+               registry=reg, repeats=5, warmup=1)
+    def fake_unit(quick=False):
+        return lambda: {"touched": True}
+
+    class Clock:
+        def __init__(self):
+            self.t = 0.0
+
+        def __call__(self):
+            self.t += step_s
+            return self.t
+
+    return reg, Clock()
+
+
+class TestHarness:
+    def test_run_one_with_injected_timer(self):
+        reg, clock = _fake_registry(step_s=2e-3)
+        res = run_one(reg.get("fake.unit"), timer=clock)
+        assert res["median"] == pytest.approx(2e-3)
+        assert res["iqr"] == pytest.approx(0.0)
+        assert res["n_samples"] == 5
+        assert res["extra"] == {"touched": True}
+
+    def test_setup_must_return_callable(self):
+        reg = BenchmarkRegistry()
+
+        @benchmark("bad.setup", registry=reg)
+        def bad(quick=False):
+            return 42  # not callable
+
+        res = run_one(reg.get("bad.setup"))
+        assert "error" in res and "zero-arg callable" in res["error"]
+
+    def test_erroring_benchmark_does_not_abort_suite(self):
+        reg = BenchmarkRegistry()
+
+        @benchmark("ok.one", registry=reg)
+        def ok(quick=False):
+            return lambda: None
+
+        @benchmark("broken.one", registry=reg)
+        def broken(quick=False):
+            raise RuntimeError("boom")
+
+        report = run_suite(registry=reg, discover_first=False, repeats=1,
+                           warmup=0)
+        by_id = {r["id"]: r for r in report["results"]}
+        assert "error" in by_id["broken.one"]
+        assert by_id["ok.one"]["median"] is not None
+
+    def test_report_round_trip_and_schema(self, tmp_path):
+        reg, _ = _fake_registry()
+        report = run_suite(registry=reg, discover_first=False, quick=True,
+                           repeats=2, warmup=0)
+        assert report["schema"] == "repro-bench"
+        assert report["environment"]["python"]
+        path = write_report(report, tmp_path / "BENCH_t.json",
+                            artifacts_dir=tmp_path / "artifacts")
+        loaded = load_report(path)
+        assert loaded == json.loads(json.dumps(report))  # JSON-stable
+        art = tmp_path / "artifacts" / "fake.unit.json"
+        assert json.loads(art.read_text())["result"]["id"] == "fake.unit"
+        assert "fake.unit" in format_report(loaded)
+
+    def test_validation_rejects_bad_documents(self, tmp_path):
+        with pytest.raises(ValueError, match="schema"):
+            validate_report({"schema": "other", "results": []})
+        with pytest.raises(ValueError, match="schema_version"):
+            validate_report({"schema": "repro-bench", "schema_version": 99,
+                             "results": []})
+        with pytest.raises(ValueError, match="no median"):
+            validate_report({"schema": "repro-bench", "schema_version": 1,
+                             "results": [{"id": "x"}]})
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_report(bad)
+
+    def test_registry_glob_selection(self):
+        reg = BenchmarkRegistry()
+        for bench_id in ("des.a", "des.b", "gravity.c"):
+            benchmark(bench_id, registry=reg)(lambda quick=False: (lambda: None))
+        assert [d.id for d in reg.select(["des.*"])] == ["des.a", "des.b"]
+        assert len(reg.select(None)) == 3
+        with pytest.raises(KeyError, match="no benchmark matches"):
+            reg.select(["nope.*"])
+
+
+def _suite_with_timer(step_s):
+    reg, clock = _fake_registry(step_s=step_s)
+    res = run_one(reg.get("fake.unit"), timer=clock)
+    return {"schema": "repro-bench", "schema_version": 1,
+            "created": "t", "quick": False,
+            "environment": {"python": "3", "numpy": "2", "cpu_count": 1},
+            "results": [res]}
+
+
+class TestRegressionGate:
+    def test_identical_runs_pass(self):
+        base = _suite_with_timer(1e-3)
+        new = _suite_with_timer(1e-3)
+        result = compare_reports(base, new)
+        assert result.passed and result.exit_code == 0
+        assert result.deltas[0].verdict == "ok"
+        assert "PASS" in result.format()
+
+    def test_artificial_2x_slowdown_detected(self):
+        base = _suite_with_timer(1e-3)
+        new = _suite_with_timer(2e-3)  # exactly 2x slower
+        result = compare_reports(base, new)
+        assert not result.passed and result.exit_code == 1
+        d = result.deltas[0]
+        assert d.regressed and d.ratio == pytest.approx(2.0)
+        assert "regression" in result.markdown()
+
+    def test_2x_speedup_is_improvement_not_failure(self):
+        base = _suite_with_timer(2e-3)
+        new = _suite_with_timer(1e-3)
+        result = compare_reports(base, new)
+        assert result.passed
+        assert result.deltas[0].improved
+
+    def test_noise_scaled_threshold(self):
+        # identical medians but huge IQR in the new run: the 3x-IQR term
+        # dominates and a modest delta stays under it.
+        base = _suite_with_timer(1e-3)
+        new = _suite_with_timer(1e-3)
+        new["results"][0]["median"] = 1.2e-3     # +20% < 25% floor
+        result = compare_reports(base, new)
+        assert result.passed
+        # push past the floor, then widen the noise band until it passes
+        new["results"][0]["median"] = 1.3e-3     # +30% > 25% floor
+        assert not compare_reports(base, new).passed
+        new["results"][0]["iqr"] = 2e-4          # 3 x 0.2ms = 0.6ms threshold
+        assert compare_reports(base, new).passed
+
+    def test_membership_and_error_accounting(self):
+        base = _suite_with_timer(1e-3)
+        new = _suite_with_timer(1e-3)
+        base["results"].append({"id": "gone.one", "median": 1.0, "iqr": 0.0})
+        new["results"].append({"id": "new.one", "median": 1.0, "iqr": 0.0})
+        new["results"].append({"id": "err.one", "error": "boom"})
+        base["results"].append({"id": "err.one", "median": 1.0, "iqr": 0.0})
+        result = compare_reports(base, new)
+        assert result.missing == ["gone.one"]
+        assert result.added == ["new.one"]
+        assert result.errored == ["err.one"]
+
+    def test_quick_and_environment_mismatch_warn(self):
+        base = _suite_with_timer(1e-3)
+        new = _suite_with_timer(1e-3)
+        new["quick"] = True
+        new["environment"]["numpy"] = "3"
+        result = compare_reports(base, new)
+        assert any("quick-mode mismatch" in w for w in result.warnings)
+        assert any("environment mismatch: numpy" in w for w in result.warnings)
+
+
+class TestCriticalPathAnalyzer:
+    def test_longest_chain_on_hand_built_graph(self):
+        # Diamond: a enables (b | c); d waits for both.  The long arm goes
+        # through c, so the critical path must be a -> c -> d and the short
+        # arm b must not appear.
+        rec = CPRecorder()
+        a = rec.add("a", "compute", 0.0, 1.0)
+        b = rec.add("b", "compute", 1.0, 2.0, preds=(a,))
+        c = rec.add("c", "latency", 1.0, 5.0, preds=(a,))
+        rec.add("d", "compute", 5.0, 7.0, preds=(b, c))
+        report = analyze_critical_path(rec)
+        assert [s.label for s in report.segments] == ["a", "c", "d"]
+        assert report.makespan == 7.0
+        assert report.components["compute"] == pytest.approx(3.0)
+        assert report.components["latency"] == pytest.approx(4.0)
+        assert report.attributed_total == pytest.approx(report.makespan)
+
+    def test_segments_tile_zero_to_makespan(self):
+        rec = CPRecorder()
+        a = rec.add("a", "compute", 0.5, 1.0)   # starts after t=0
+        rec.add("b", "compute", 3.0, 4.0, preds=(a,))  # 2s unmodelled gap
+        report = analyze_critical_path(rec, makespan=4.5)  # trailing join
+        segs = sorted(report.segments, key=lambda s: s.start)
+        assert segs[0].start == 0.0 and segs[-1].end == 4.5
+        for prev, cur in zip(segs[:-1], segs[1:]):
+            assert cur.start == pytest.approx(prev.end)
+        labels = [s.label for s in segs]
+        assert "origin wait" in labels       # 0 -> 0.5, nothing recorded
+        assert "unattributed wait" in labels  # 1.0 -> 3.0 gap
+        assert "join" in labels              # 4.0 -> 4.5 clock tail
+        assert report.attributed_total == pytest.approx(4.5)
+
+    def test_resource_availability_edge_truncates_wait(self):
+        # A queue-wait node spanning [0, 9] whose resource was freed at
+        # t=8 must contribute only [8, 9] to the chain: the walk descends
+        # through the freeing task, not the whole wait.
+        rec = CPRecorder()
+        t1 = rec.add("task1", "compute", 0.0, 8.0, resource="w0")
+        wait = rec.add("wait", "queue", 0.0, 9.0, resource="w0", preds=(t1,))
+        rec.add("task2", "compute", 9.0, 10.0, resource="w0", preds=(wait,))
+        report = analyze_critical_path(rec)
+        by_label = report.by_label
+        assert by_label["wait"] == pytest.approx(1.0)
+        assert by_label["task1"] == pytest.approx(8.0)
+        assert report.components["queue"] == pytest.approx(1.0)
+        assert report.attributed_total == pytest.approx(10.0)
+
+    def test_empty_recorder_is_all_barrier(self):
+        report = analyze_critical_path(CPRecorder(), makespan=2.0)
+        assert report.components["barrier"] == 2.0
+        assert report.attributed_total == pytest.approx(2.0)
+
+    def test_recorder_rejects_bad_nodes(self):
+        rec = CPRecorder()
+        with pytest.raises(ValueError, match="ends before it starts"):
+            rec.add("x", "compute", 2.0, 1.0)
+        with pytest.raises(ValueError, match="does not exist"):
+            rec.add("x", "compute", 0.0, 1.0, preds=(5,))
+        rec.add("ok", "compute", 0.0, 1.0, preds=(None,))  # Nones filtered
+        assert rec.nodes[0].preds == ()
+
+    def test_format_components_renders_all_kinds(self):
+        line = format_components({"compute": 0.001, "latency": 0.003})
+        for kind in ("compute", "latency", "queue", "barrier"):
+            assert kind in line
+        assert "(25%)" in line and "(75%)" in line
+
+
+@pytest.fixture(scope="module")
+def small_workload():
+    return build_gravity_workload(
+        distribution="clustered", n=2_500, n_partitions=32, n_subtrees=32,
+        seed=7,
+    ).workload
+
+
+class TestDesCriticalPath:
+    @pytest.mark.parametrize("cache_model", [WAITFREE, SEQUENTIAL])
+    def test_components_sum_to_simulated_time(self, small_workload, cache_model):
+        r = simulate_traversal(
+            small_workload, machine=STAMPEDE2, n_processes=4,
+            workers_per_process=4, cache_model=cache_model,
+            critical_path=True, collect_trace=True,
+        )
+        cp = r.critical_path
+        assert cp is not None
+        assert cp.makespan == pytest.approx(r.time, rel=1e-9)
+        # the acceptance bar: attribution within 1% of end-to-end time
+        # (by construction it is exact; the tolerance guards refactors).
+        assert cp.attributed_total == pytest.approx(r.time, rel=0.01)
+        assert all(v >= -1e-12 for v in cp.components.values())
+
+    def test_observer_does_not_perturb_simulation(self, small_workload):
+        plain = simulate_traversal(
+            small_workload, machine=STAMPEDE2, n_processes=4,
+            workers_per_process=4, cache_model=WAITFREE,
+        )
+        observed = simulate_traversal(
+            small_workload, machine=STAMPEDE2, n_processes=4,
+            workers_per_process=4, cache_model=WAITFREE,
+            critical_path=True, collect_trace=True,
+        )
+        assert observed.time == plain.time  # bit-identical
+        assert observed.events == plain.events
+
+    def test_report_serializes_and_formats(self, small_workload):
+        r = simulate_traversal(
+            small_workload, machine=STAMPEDE2, n_processes=2,
+            workers_per_process=4, critical_path=True,
+        )
+        doc = r.critical_path.to_dict()
+        json.dumps(doc)  # JSON-clean
+        assert doc["n_segments"] == len(doc["segments"])
+        assert sum(doc["components"].values()) == pytest.approx(doc["makespan"])
+        text = r.critical_path.format()
+        assert "critical path:" in text and "compute=" in text
+
+
+class TestBenchCli:
+    def test_run_report_compare_round_trip(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        out = tmp_path / "BENCH_a.json"
+        assert main(["bench", "run", "--quick", "meta.loc_count",
+                     "-o", str(out)]) == 0
+        assert load_report(out)["results"][0]["id"] == "meta.loc_count"
+        capsys.readouterr()
+
+        assert main(["bench", "report", str(out)]) == 0
+        assert "meta.loc_count" in capsys.readouterr().out
+
+        # identical files: PASS, exit 0, markdown written
+        md = tmp_path / "cmp.md"
+        assert main(["bench", "compare", str(out), str(out),
+                     "--markdown", str(md)]) == 0
+        assert "PASS" in capsys.readouterr().out
+        assert "✅ pass" in md.read_text()
+
+    def test_compare_detects_doubled_medians(self, tmp_path, capsys):
+        base = _suite_with_timer(1e-3)
+        slow = _suite_with_timer(2e-3)
+        b, s = tmp_path / "base.json", tmp_path / "slow.json"
+        b.write_text(json.dumps(base))
+        s.write_text(json.dumps(slow))
+        assert main(["bench", "compare", str(b), str(s)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+        # --warn-only converts the gate into advice (for the CI smoke job)
+        assert main(["bench", "compare", str(b), str(s), "--warn-only"]) == 0
+
+    def test_compare_rejects_invalid_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("[]")
+        assert main(["bench", "compare", str(bad), str(bad)]) == 2
+
+    def test_list_names_all_registered_benchmarks(self, capsys):
+        assert main(["bench", "list"]) == 0
+        out = capsys.readouterr().out
+        for bench_id in ("des.fig9_profile", "gravity.bucket16",
+                         "e2e.disk_steps", "meta.loc_count"):
+            assert bench_id in out
