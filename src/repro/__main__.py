@@ -54,6 +54,39 @@ def _add_critical_path(p: argparse.ArgumentParser) -> None:
                         "longest dependency chain")
 
 
+def _add_checkpoint(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--checkpoint-every", type=int, default=0, metavar="K",
+                   help="write a checkpoint every K completed iterations "
+                        "(0 = off); resume with `repro resume <checkpoint>`")
+    p.add_argument("--checkpoint-dir", default="checkpoints", metavar="DIR",
+                   help="directory for ckpt_*.npz files (default: checkpoints)")
+    p.add_argument("--save-state", metavar="PATH", default=None,
+                   help="write the final particle state (npz snapshot) — "
+                        "compare runs with `repro audit A B`")
+
+
+def _save_state(driver, path: str) -> None:
+    """Final particle state as a checksummed snapshot; accelerations ride
+    along as an extra field so audits compare the physics, not just the
+    positions."""
+    from .particles import save_particles
+
+    p = driver.particles.copy()
+    acc = getattr(driver, "accelerations", None)
+    if acc is not None and not p.has_field("acceleration"):
+        p.add_field("acceleration", np.ascontiguousarray(acc))
+    save_particles(path, p)
+    print(f"wrote final state ({len(p)} particles) to {path}")
+
+
+def _print_recovery_dict(rec: dict, indent: str = "  ") -> None:
+    print(f"{indent}recovery: {rec['n_crashes']} crash(es), "
+          f"lost {rec['lost_cache_lines']} cache lines "
+          f"({rec['lost_bytes']:.0f} B), "
+          f"refetched {rec['bytes_refetched']:.0f} B from buddies, "
+          f"{rec['recovery_time'] * 1e3:.3f} ms recovering")
+
+
 def _print_critical_path_dict(cp: dict, indent: str = "  ") -> None:
     """Render the ``critical_path`` sub-dict of a comm-sim summary."""
     from .perf import format_components
@@ -155,11 +188,17 @@ def cmd_gravity(args) -> int:
     p = clustered_clumps(args.n, seed=args.seed)
     telemetry = _telemetry_from_args(args)
     fault_plan = _fault_plan_from_args(args)
-    if telemetry is not None or fault_plan is not None or args.critical_path:
+    wants_driver = (
+        telemetry is not None or fault_plan is not None or args.critical_path
+        or args.checkpoint_every or args.save_state or args.dt > 0
+        or args.iterations > 1
+    )
+    if wants_driver:
         # Run the full Driver pipeline so the trace shows all seven
         # ``run_iteration`` phases (splitters ... rebalance), not just the
         # bare traversal.  Fault runs need the Driver too: the fault plan
         # replays each iteration's traversal through the DES comm model.
+        # Checkpointing/resume is Driver-only as well.
         from .apps.gravity import GravityDriver
         from .core import Configuration
 
@@ -173,13 +212,20 @@ def cmd_gravity(args) -> int:
                 return p
 
         driver = Main(cfg, theta=args.theta, softening=args.softening,
-                      with_quadrupole=args.quadrupole)
+                      dt=args.dt, with_quadrupole=args.quadrupole)
         if telemetry is not None:
             driver.enable_telemetry(telemetry)
         if fault_plan is not None:
             driver.enable_faults(fault_plan)
         if args.critical_path:
             driver.enable_critical_path()
+        if args.checkpoint_every:
+            driver.enable_checkpointing(
+                args.checkpoint_dir, every=args.checkpoint_every,
+                app="gravity",
+                app_config={"theta": args.theta, "softening": args.softening,
+                            "dt": args.dt, "with_quadrupole": args.quadrupole},
+            )
         t0 = time.time()
         driver.run()
         print(f"traversal: {time.time() - t0:.2f}s  {driver.last_stats.as_dict()}")
@@ -195,12 +241,16 @@ def cmd_gravity(args) -> int:
                 faults = f" faults={cs['faults']}" if cs.get("faults") else ""
                 print(f"iteration {rep.iteration}: comm sim {cs['time'] * 1e3:.3f} ms"
                       + faults)
+                if cs.get("recovery"):
+                    _print_recovery_dict(cs["recovery"])
                 if cs.get("critical_path"):
                     _print_critical_path_dict(cs["critical_path"])
         if args.check and args.n <= 20_000:
             exact = direct_accelerations(driver.particles, softening=args.softening)
             print("error vs direct sum: "
                   f"{acceleration_error(driver.accelerations, exact)}")
+        if args.save_state:
+            _save_state(driver, args.save_state)
         _finish_telemetry(telemetry, args)
         return 0
     t0 = time.time()
@@ -223,8 +273,37 @@ def cmd_sph(args) -> int:
 
     telemetry = _telemetry_from_args(args)
     p = uniform_cube(args.n, seed=args.seed)
-    tree = build_tree(p, tree_type=args.tree, bucket_size=args.bucket)
     fault_plan = _fault_plan_from_args(args)
+    if args.checkpoint_every or args.save_state or args.dt > 0 or args.iterations > 1:
+        from .apps.sph import SPHDriver
+        from .core import Configuration
+
+        cfg = Configuration(num_iterations=args.iterations, tree_type=args.tree,
+                            bucket_size=args.bucket)
+
+        class Main(SPHDriver):
+            def create_particles(self, config):
+                return p
+
+        driver = Main(cfg, k_neighbors=args.k, dt=args.dt)
+        if telemetry is not None:
+            driver.enable_telemetry(telemetry)
+        if fault_plan is not None:
+            driver.enable_faults(fault_plan)
+        if args.checkpoint_every:
+            driver.enable_checkpointing(
+                args.checkpoint_dir, every=args.checkpoint_every,
+                app="sph", app_config={"k_neighbors": args.k, "dt": args.dt},
+            )
+        t0 = time.time()
+        driver.run()
+        print(f"{args.iterations} iteration(s) in {time.time() - t0:.2f}s; "
+              f"median rho {np.median(driver.state.density):.4f}")
+        if args.save_state:
+            _save_state(driver, args.save_state)
+        _finish_telemetry(telemetry, args)
+        return 0
+    tree = build_tree(p, tree_type=args.tree, bucket_size=args.bucket)
     if fault_plan is not None:
         _chaos_probe(tree, fault_plan)
     st = compute_density_knn(tree, k=args.k)
@@ -245,8 +324,37 @@ def cmd_knn(args) -> int:
 
     telemetry = _telemetry_from_args(args)
     p = clustered_clumps(args.n, seed=args.seed)
-    tree = build_tree(p, tree_type=args.tree, bucket_size=args.bucket)
     fault_plan = _fault_plan_from_args(args)
+    if args.checkpoint_every or args.save_state:
+        from .apps.knn import KNNDriver
+        from .core import Configuration
+
+        cfg = Configuration(num_iterations=args.iterations, tree_type=args.tree,
+                            bucket_size=args.bucket)
+
+        class Main(KNNDriver):
+            def create_particles(self, config):
+                return p
+
+        driver = Main(cfg, k=args.k)
+        if telemetry is not None:
+            driver.enable_telemetry(telemetry)
+        if fault_plan is not None:
+            driver.enable_faults(fault_plan)
+        if args.checkpoint_every:
+            driver.enable_checkpointing(
+                args.checkpoint_dir, every=args.checkpoint_every,
+                app="knn", app_config={"k": args.k},
+            )
+        t0 = time.time()
+        driver.run()
+        print(f"kNN k={args.k}: {time.time() - t0:.2f}s, "
+              f"median d_k={np.median(driver.kth_distances()):.4f}")
+        if args.save_state:
+            _save_state(driver, args.save_state)
+        _finish_telemetry(telemetry, args)
+        return 0
+    tree = build_tree(p, tree_type=args.tree, bucket_size=args.bucket)
     if fault_plan is not None:
         _chaos_probe(tree, fault_plan)
     t0 = time.time()
@@ -280,10 +388,17 @@ def cmd_disk(args) -> int:
         d.enable_faults(fault_plan)
     if args.critical_path:
         d.enable_critical_path()
+    if args.checkpoint_every:
+        d.enable_checkpointing(
+            args.checkpoint_dir, every=args.checkpoint_every,
+            app="disk", app_config={"dt": args.dt},
+        )
     t0 = time.time()
     d.run()
     print(f"{args.steps} steps in {time.time() - t0:.1f}s; "
           f"collisions recorded: {len(d.log)}")
+    if args.save_state:
+        _save_state(d, args.save_state)
     if args.critical_path:
         with_cp = [r for r in d.reports
                    if r.comm_sim and r.comm_sim.get("critical_path")]
@@ -308,12 +423,103 @@ def cmd_correlation(args) -> int:
 
         _chaos_probe(build_tree(particles, tree_type="oct", bucket_size=16),
                      fault_plan)
+    if args.checkpoint_every or args.save_state:
+        from .apps.correlation import CorrelationDriver
+        from .core import Configuration
+
+        class Main(CorrelationDriver):
+            def create_particles(self, config):
+                return particles
+
+        driver = Main(Configuration(num_iterations=1),
+                      rmin=args.rmin, rmax=args.rmax, bins=args.bins)
+        if telemetry is not None:
+            driver.enable_telemetry(telemetry)
+        if args.checkpoint_every:
+            driver.enable_checkpointing(
+                args.checkpoint_dir, every=args.checkpoint_every,
+                app="correlation",
+                app_config={"rmin": args.rmin, "rmax": args.rmax,
+                            "bins": args.bins},
+            )
+        driver.run()
+        res, edges = driver.result, driver.edges
+        print(f"{'r_lo':>8} {'r_hi':>8} {'xi':>10} {'DD':>10}")
+        for i in range(len(res.xi)):
+            print(f"{edges[i]:8.4f} {edges[i + 1]:8.4f} "
+                  f"{res.xi[i]:10.3f} {res.dd[i]:10,}")
+        if args.save_state:
+            _save_state(driver, args.save_state)
+        _finish_telemetry(telemetry, args)
+        return 0
     edges = np.geomspace(args.rmin, args.rmax, args.bins + 1)
     res = two_point_correlation(particles, edges)
     print(f"{'r_lo':>8} {'r_hi':>8} {'xi':>10} {'DD':>10}")
     for i in range(len(res.xi)):
         print(f"{edges[i]:8.4f} {edges[i + 1]:8.4f} {res.xi[i]:10.3f} {res.dd[i]:10,}")
     _finish_telemetry(telemetry, args)
+    return 0
+
+
+def cmd_resume(args) -> int:
+    from .resilience import CheckpointError, audit_restore, load_checkpoint
+    from .resilience.resume import driver_from_checkpoint
+
+    try:
+        ckpt = load_checkpoint(args.checkpoint)
+        driver = driver_from_checkpoint(ckpt)
+    except (CheckpointError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.iterations is not None:
+        driver.config.num_iterations = args.iterations
+    telemetry = _telemetry_from_args(args)
+    if telemetry is not None:
+        driver.enable_telemetry(telemetry)
+    fault_plan = _fault_plan_from_args(args)
+    if fault_plan is not None:
+        driver.enable_faults(fault_plan)
+    elif ckpt.fault_spec:
+        # A resumed run replays the checkpointed fault plan: its PRNG
+        # stream positions are part of the restored state.
+        driver.enable_faults(ckpt.fault_spec)
+    if args.checkpoint_every:
+        driver.enable_checkpointing(
+            args.checkpoint_dir, every=args.checkpoint_every,
+            app=ckpt.app, app_config=ckpt.app_config,
+        )
+    t0 = time.time()
+    driver.run(resume_from=ckpt)
+    ran = max(driver.config.num_iterations - ckpt.iteration, 0)
+    print(f"resumed {ckpt.app or 'run'} at iteration {ckpt.iteration}: "
+          f"ran {ran} more iteration(s) in {time.time() - t0:.2f}s")
+    problems = audit_restore(driver)
+    if problems:
+        for prob in problems:
+            print(f"audit: {prob}", file=sys.stderr)
+        _finish_telemetry(telemetry, args)
+        return 1
+    print("consistency audit passed")
+    if args.save_state:
+        _save_state(driver, args.save_state)
+    _finish_telemetry(telemetry, args)
+    return 0
+
+
+def cmd_audit(args) -> int:
+    from .resilience import CheckpointError, audit_state_files
+
+    try:
+        problems = audit_state_files(args.a, args.b)
+    except (CheckpointError, OSError, ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if problems:
+        print(f"{len(problems)} difference(s) between {args.a} and {args.b}:")
+        for prob in problems:
+            print(f"  {prob}")
+        return 1
+    print(f"bit-identical: {args.a} == {args.b}")
     return 0
 
 
@@ -348,6 +554,8 @@ def cmd_scale(args) -> int:
         extra = f", faults={r.faults.to_dict()}" if r.faults is not None else ""
         print(f"  {cores:>7} cores: {r.time * 1e3:9.3f} ms, "
               f"{r.requests:,} requests, {r.bytes_moved / 1e6:.1f} MB{extra}")
+        if r.recovery is not None:
+            _print_recovery_dict(r.recovery.to_dict(), indent="    ")
         if r.critical_path is not None:
             for line in r.critical_path.format().splitlines():
                 print(f"    {line}")
@@ -428,25 +636,36 @@ def main(argv=None) -> int:
     g.add_argument("--quadrupole", action="store_true")
     g.add_argument("--check", action="store_true", help="compare to direct sum")
     g.add_argument("--iterations", type=int, default=1,
-                   help="driver iterations (telemetry runs only)")
+                   help="driver iterations (Driver-pipeline runs only)")
+    g.add_argument("--dt", type=float, default=0.0,
+                   help="leapfrog timestep (0 = forces only, no integration)")
     _add_telemetry(g)
     _add_faults(g)
     _add_critical_path(g)
+    _add_checkpoint(g)
     g.set_defaults(fn=cmd_gravity)
 
     s = sub.add_parser("sph", help="SPH density estimation")
     _add_common(s, 6_000)
     s.add_argument("--k", type=int, default=32)
     s.add_argument("--baseline", action="store_true", help="run Gadget-style too")
+    s.add_argument("--iterations", type=int, default=1,
+                   help="driver iterations (Driver-pipeline runs only)")
+    s.add_argument("--dt", type=float, default=0.0,
+                   help="leapfrog timestep (0 = density/forces only)")
     _add_telemetry(s)
     _add_faults(s)
+    _add_checkpoint(s)
     s.set_defaults(fn=cmd_sph)
 
     k = sub.add_parser("knn", help="k-nearest-neighbour search")
     _add_common(k, 20_000)
     k.add_argument("--k", type=int, default=8)
+    k.add_argument("--iterations", type=int, default=1,
+                   help="driver iterations (Driver-pipeline runs only)")
     _add_telemetry(k)
     _add_faults(k)
+    _add_checkpoint(k)
     k.set_defaults(fn=cmd_knn)
 
     d = sub.add_parser("disk", help="planetesimal disk with collisions")
@@ -458,6 +677,7 @@ def main(argv=None) -> int:
     _add_telemetry(d)
     _add_faults(d)
     _add_critical_path(d)
+    _add_checkpoint(d)
     d.set_defaults(fn=cmd_disk)
 
     c = sub.add_parser("correlation", help="two-point correlation function")
@@ -468,7 +688,25 @@ def main(argv=None) -> int:
     c.add_argument("--bins", type=int, default=8)
     _add_telemetry(c)
     _add_faults(c)
+    _add_checkpoint(c)
     c.set_defaults(fn=cmd_correlation)
+
+    r = sub.add_parser("resume", help="resume a run from a checkpoint file")
+    r.add_argument("checkpoint", help="path to a ckpt_*.npz checkpoint")
+    r.add_argument("--iterations", type=int, default=None,
+                   help="override the total iteration count recorded in the "
+                        "checkpoint (absolute, not additional)")
+    _add_telemetry(r)
+    _add_faults(r)
+    _add_checkpoint(r)
+    r.set_defaults(fn=cmd_resume)
+
+    a = sub.add_parser(
+        "audit", help="byte-level comparison of two npz state archives "
+                      "(checkpoints or --save-state snapshots)")
+    a.add_argument("a")
+    a.add_argument("b")
+    a.set_defaults(fn=cmd_audit)
 
     sc = sub.add_parser("scale", help="simulated strong-scaling sweep")
     sc.add_argument("--n", type=int, default=20_000)

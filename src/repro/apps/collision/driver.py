@@ -124,6 +124,27 @@ class PlanetesimalDriver(Driver):
         p.position += p.velocity * self.dt
         self.time += self.dt
 
+    def checkpoint_state(self) -> dict:
+        # The collision log and the accumulated clock are run-level state a
+        # resume must carry: losing either breaks the Fig 12 analysis of a
+        # recovered run.
+        state = {f"log_{k}": v for k, v in self.log.as_arrays().items()}
+        state["time"] = np.float64(self.time)
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        t = state.get("time")
+        if t is not None:
+            # scalars round-trip through the npz as shape-(1,) arrays
+            self.time = float(np.asarray(t).ravel()[0])
+        self.log = CollisionLog(
+            times=[float(v) for v in np.atleast_1d(state.get("log_time", []))],
+            distances=[float(v) for v in np.atleast_1d(state.get("log_distance", []))],
+            semi_major_axes=[float(v) for v in np.atleast_1d(state.get("log_a", []))],
+            periods=[float(v) for v in np.atleast_1d(state.get("log_period", []))],
+            eccentricities=[float(v) for v in np.atleast_1d(state.get("log_e", []))],
+        )
+
     # -- helpers ---------------------------------------------------------------
     def _star_state(self) -> tuple[np.ndarray, np.ndarray]:
         p = self.particles

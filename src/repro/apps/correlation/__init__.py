@@ -10,8 +10,10 @@ chooses between opening both sides or only the source.
 
 from .paircount import PairCountVisitor, pair_counts, brute_force_pair_counts
 from .correlation import two_point_correlation
+from .driver import CorrelationDriver
 
 __all__ = [
+    "CorrelationDriver",
     "PairCountVisitor",
     "pair_counts",
     "brute_force_pair_counts",

@@ -133,3 +133,12 @@ class GravityDriver(Driver):
             from .integrator import kick_drift_kick_half
 
             kick_drift_kick_half(self.particles, self.accelerations, self.dt)
+
+    def checkpoint_state(self) -> dict:
+        if self.accelerations is None:
+            return {}
+        return {"accelerations": np.asarray(self.accelerations)}
+
+    def restore_state(self, state: dict) -> None:
+        acc = state.get("accelerations")
+        self.accelerations = None if acc is None else np.asarray(acc)

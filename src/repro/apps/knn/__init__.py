@@ -12,8 +12,10 @@ smoothing-length iteration baseline.
 
 from .knn import KNNResult, KNNVisitor, knn_search, brute_force_knn
 from .balls import BallSearchVisitor, ball_search, brute_force_ball
+from .driver import KNNDriver
 
 __all__ = [
+    "KNNDriver",
     "KNNResult",
     "KNNVisitor",
     "knn_search",

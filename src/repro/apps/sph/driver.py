@@ -59,3 +59,19 @@ class SPHDriver(Driver):
         if self.dt > 0:
             self.particles.velocity += self.accelerations * self.dt
             self.particles.position += self.particles.velocity * self.dt
+
+    def checkpoint_state(self) -> dict:
+        # Density/neighbour state is recomputed from particles every
+        # iteration; only the last derived outputs are worth carrying.
+        state = {}
+        if self.pressure is not None:
+            state["pressure"] = np.asarray(self.pressure)
+        if self.accelerations is not None:
+            state["accelerations"] = np.asarray(self.accelerations)
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        p = state.get("pressure")
+        a = state.get("accelerations")
+        self.pressure = None if p is None else np.asarray(p)
+        self.accelerations = None if a is None else np.asarray(a)

@@ -74,3 +74,28 @@ class Configuration:
 
     def tree_build_config(self) -> TreeBuildConfig:
         return TreeBuildConfig(tree_type=self.tree_type, bucket_size=self.bucket_size)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable view of every knob (checkpoint metadata)."""
+        return {
+            "input_file": self.input_file,
+            "num_iterations": int(self.num_iterations),
+            "tree_type": str(TreeType(self.tree_type).value),
+            "decomp_type": self.decomp_type,
+            "bucket_size": int(self.bucket_size),
+            "num_partitions": int(self.num_partitions),
+            "num_subtrees": int(self.num_subtrees),
+            "traverser": self.traverser,
+            "lb_period": int(self.lb_period),
+            "lb_strategy": self.lb_strategy,
+            "flush_period": int(self.flush_period),
+            "nodes_per_request": int(self.nodes_per_request),
+            "shared_branch_levels": int(self.shared_branch_levels),
+            "seed": int(self.seed),
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Configuration":
+        """Inverse of :meth:`to_dict` (unknown keys rejected by the ctor)."""
+        return cls(**d)

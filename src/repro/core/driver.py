@@ -170,6 +170,13 @@ class Driver:
         self._telemetry_lists: InteractionLists | None = None
         self.fault_plan = None
         self.critical_path = False
+        #: named PRNG streams whose positions checkpoints capture/restore
+        self._rngs: dict[str, np.random.Generator] = {}
+        self._ckpt_writer = None
+        #: imbalance of the last pre-checkpoint iteration, restored on
+        #: resume so the reactive flush check sees the same value the
+        #: uninterrupted run would
+        self._resumed_imbalance: float | None = None
 
     # -- user hooks ---------------------------------------------------------
     def configure(self, config: Configuration) -> None:
@@ -190,6 +197,17 @@ class Driver:
 
     def post_traversal(self, iteration: int) -> None:
         """Non-traversal work: integration, collisions, output, ..."""
+
+    def checkpoint_state(self) -> dict[str, Any]:
+        """Application state to include in checkpoints, as a name->array
+        dict (accelerations, accumulated logs, scalar clocks as 0-d
+        arrays).  The base pipeline state — particles, decomposition
+        assignment, PRNG streams — is captured by the library."""
+        return {}
+
+    def restore_state(self, state: dict[str, np.ndarray]) -> None:
+        """Inverse of :meth:`checkpoint_state`: reinstall application
+        state from a checkpoint (called after particles are restored)."""
 
     # -- library ------------------------------------------------------------
     def partitions(self) -> Partitions:
@@ -246,16 +264,57 @@ class Driver:
         """
         self.critical_path = bool(enabled)
 
-    def run(self) -> list[IterationReport]:
+    def register_rng(self, name: str, rng: np.random.Generator) -> np.random.Generator:
+        """Register a PRNG stream so checkpoints capture (and restores
+        reinstall) its exact position — the requirement for bit-identical
+        resume of any RNG-dependent physics."""
+        self._rngs[name] = rng
+        return rng
+
+    def enable_checkpointing(
+        self,
+        directory,
+        every: int = 1,
+        keep: int = 2,
+        app: str | None = None,
+        app_config: dict[str, Any] | None = None,
+        buddy=None,
+        rank: int = 0,
+    ):
+        """Write a checkpoint every ``every`` completed iterations into
+        ``directory`` (keeping the newest ``keep``).  ``app``/``app_config``
+        let ``repro resume`` rebuild the owning Driver; ``buddy`` mirrors
+        each blob into a :class:`~repro.resilience.BuddyStore` (in-memory
+        double checkpointing).  Returns the writer."""
+        from ..resilience import CheckpointWriter
+
+        self._ckpt_writer = CheckpointWriter(
+            directory, every=every, keep=keep,
+            app=app, app_config=app_config, buddy=buddy, rank=rank,
+        )
+        return self._ckpt_writer
+
+    def run(self, resume_from=None) -> list[IterationReport]:
+        """Run the configured iterations; pass ``resume_from`` (a
+        checkpoint path or :class:`~repro.resilience.Checkpoint`) to
+        continue a checkpointed run bit-identically instead of starting
+        from fresh particles."""
         self.configure(self.config)
         cfg = self.config
+        start = 0
+        if resume_from is not None:
+            from ..resilience import restore_run
+
+            start = restore_run(self, resume_from)
         if self.particles is None:
             if cfg.input_file:
                 self.particles = load_particles(cfg.input_file)
             else:
                 self.particles = self.create_particles(cfg)
-        for it in range(cfg.num_iterations):
+        for it in range(start, cfg.num_iterations):
             self.run_iteration(it)
+            if self._ckpt_writer is not None:
+                self._ckpt_writer.maybe_write(self, it)
         return self.reports
 
     def run_iteration(self, iteration: int) -> IterationReport:
@@ -280,8 +339,16 @@ class Driver:
                     and iteration % cfg.flush_period == 0
                 )
                 threshold = cfg.extra.get("flush_imbalance")
-                if threshold is not None and self.reports:
-                    flush = flush or self.reports[-1].imbalance > float(threshold)
+                if threshold is not None:
+                    # On a resumed run the previous iteration's imbalance
+                    # comes from the checkpoint, so the reactive check makes
+                    # the same decision the uninterrupted run would.
+                    prev = (
+                        self.reports[-1].imbalance if self.reports
+                        else self._resumed_imbalance
+                    )
+                    if prev is not None:
+                        flush = flush or prev > float(threshold)
                 if flush:
                     self._pending_assignment = None
                 if self._pending_assignment is not None:

@@ -37,6 +37,12 @@ def chrome_trace(telemetry_or_tracer, **other_data: Any) -> dict[str, Any]:
          "args": {"name": "⚑ critical path"}}
         for pid in cp_pids
     ]
+    rec_pids = sorted({e["pid"] for e in events if e.get("cat") == "recovery"})
+    meta += [
+        {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+         "args": {"name": "⟲ recovery"}}
+        for pid in rec_pids
+    ]
     doc: dict[str, Any] = {
         "traceEvents": meta + events,
         "displayTimeUnit": "ms",

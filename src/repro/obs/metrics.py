@@ -204,6 +204,17 @@ class MetricsRegistry:
         for name, value in counters.to_dict().items():
             self.counter(f"faults.{name}", **labels).inc(value)
 
+    def absorb_recovery_report(self, report, **labels: Any) -> None:
+        """Fold a :class:`~repro.resilience.RecoveryReport` into
+        ``recovery.*`` instruments: crash count, state lost, bytes
+        refetched from the buddy, and total simulated recovery time."""
+        self.counter("recovery.crashes", **labels).inc(report.n_crashes)
+        self.counter("recovery.lost_cache_lines", **labels).inc(report.lost_cache_lines)
+        self.counter("recovery.lost_bytes", **labels).inc(report.lost_bytes)
+        self.counter("recovery.bytes_refetched", **labels).inc(report.bytes_refetched)
+        self.counter("recovery.tasks_reissued", **labels).inc(report.tasks_reissued)
+        self.gauge("recovery.time", **labels).set(report.recovery_time)
+
     def absorb_iteration_report(self, report) -> None:
         """Fold one :class:`IterationReport` into driver gauges/counters."""
         it = str(report.iteration)
@@ -270,6 +281,9 @@ class NullMetricsRegistry:
         pass
 
     def absorb_fault_counters(self, counters, **labels: Any) -> None:
+        pass
+
+    def absorb_recovery_report(self, report, **labels: Any) -> None:
         pass
 
     def absorb_iteration_report(self, report) -> None:

@@ -133,6 +133,41 @@ class Tracer:
                        {"kind": seg.kind, "resource": seg.resource})
         return len(report.segments)
 
+    def record_recovery(self, report, pid: int = -2,
+                        cat: str = "recovery") -> int:
+        """Render a :class:`~repro.resilience.RecoveryReport` as its own
+        track: per crash, one event for the restart window and (when it
+        extends past the restart) one for the buddy-checkpoint fetch +
+        deserialize, on a dedicated pid above the worker timelines.
+
+        Returns the number of events recorded.
+        """
+        recorded = 0
+        for ev in report.events:
+            restart_end = ev.crashed_at + ev.restart_delay
+            self._emit(
+                f"restart p{ev.process}", cat, ev.crashed_at, ev.restart_delay,
+                pid, 0,
+                {"process": ev.process, "lost_cache_lines": ev.lost_cache_lines,
+                 "lost_bytes": ev.lost_bytes, "tasks_reissued": ev.tasks_reissued,
+                 "requests_in_flight": ev.requests_in_flight},
+            )
+            recorded += 1
+            if ev.recovered_at is not None and ev.recovered_at > restart_end:
+                label = (
+                    f"checkpoint fetch p{ev.process}<-p{ev.buddy}"
+                    if ev.buddy is not None
+                    else f"checkpoint reload p{ev.process}"
+                )
+                self._emit(
+                    label, cat, restart_end, ev.recovered_at - restart_end,
+                    pid, 0,
+                    {"checkpoint_bytes": ev.checkpoint_bytes,
+                     "bytes_refetched": ev.bytes_refetched},
+                )
+                recorded += 1
+        return recorded
+
     def _emit(self, name: str, cat: str, start: float, dur: float,
               pid: int, tid: int, args: dict[str, Any]) -> None:
         self.events.append({
@@ -195,6 +230,10 @@ class NullTracer:
 
     def record_critical_path(self, report, pid: int = -1,
                              cat: str = "critical-path") -> int:
+        return 0
+
+    def record_recovery(self, report, pid: int = -2,
+                        cat: str = "recovery") -> int:
         return 0
 
     def find(self, name: str) -> list:

@@ -8,7 +8,7 @@ from .generators import (
     keplerian_disk,
     DiskParams,
 )
-from .io import save_particles, load_particles
+from .io import SnapshotError, save_particles, load_particles
 from .tipsy import save_tipsy, load_tipsy
 
 __all__ = [
@@ -18,6 +18,7 @@ __all__ = [
     "plummer_sphere",
     "clustered_clumps",
     "keplerian_disk",
+    "SnapshotError",
     "save_particles",
     "load_particles",
     "save_tipsy",

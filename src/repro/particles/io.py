@@ -4,41 +4,98 @@ Snapshots are stored as ``.npz`` archives with one entry per field.  This is
 the stand-in for the paper's tipsy-format cosmological inputs: the framework
 only needs *some* deterministic on-disk format so runs are reproducible and
 examples can checkpoint/restart.
+
+Format version 2 adds a ``__checksums__`` entry — a JSON map of per-field
+CRC-32 values (computed over raw bytes + dtype + shape) — verified on load,
+so a truncated or bit-flipped archive raises a clear :class:`SnapshotError`
+instead of surfacing as a bare numpy/zipfile exception (or worse, loading
+silently wrong data).  Version-1 files (no checksums) still load.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import zlib
 
 import numpy as np
 
 from .particles import ParticleSet
 
-__all__ = ["save_particles", "load_particles"]
+__all__ = ["SnapshotError", "save_particles", "load_particles"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+
+
+class SnapshotError(ValueError):
+    """A particle snapshot could not be read or failed verification."""
+
+
+def _field_checksum(arr: np.ndarray) -> int:
+    arr = np.ascontiguousarray(arr)
+    crc = zlib.crc32(arr.tobytes())
+    crc = zlib.crc32(str(arr.dtype.str).encode(), crc)
+    crc = zlib.crc32(repr(tuple(arr.shape)).encode(), crc)
+    return crc & 0xFFFFFFFF
 
 
 def save_particles(path: str | os.PathLike, particles: ParticleSet) -> None:
-    """Write a ParticleSet to ``path`` (npz)."""
+    """Write a ParticleSet to ``path`` (npz with per-field checksums)."""
     payload = {f"field_{name}": particles[name] for name in particles.field_names}
+    checksums = {name: _field_checksum(arr) for name, arr in payload.items()}
     payload["__version__"] = np.int64(_FORMAT_VERSION)
+    payload["__checksums__"] = np.asarray(json.dumps(checksums))
     np.savez_compressed(path, **payload)
 
 
 def load_particles(path: str | os.PathLike) -> ParticleSet:
-    """Read a ParticleSet written by :func:`save_particles`."""
-    with np.load(path) as data:
-        version = int(data["__version__"]) if "__version__" in data else 0
-        if version > _FORMAT_VERSION:
-            raise ValueError(f"snapshot version {version} is newer than supported")
-        fields = {
-            name[len("field_"):]: data[name]
-            for name in data.files
-            if name.startswith("field_")
-        }
+    """Read a ParticleSet written by :func:`save_particles`.
+
+    Verifies the per-field checksums when present; raises
+    :class:`SnapshotError` on truncated/corrupt archives or checksum
+    mismatches."""
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            version = int(data["__version__"]) if "__version__" in data else 0
+            if version > _FORMAT_VERSION:
+                raise SnapshotError(
+                    f"{path}: snapshot version {version} is newer than supported"
+                )
+            checksums = None
+            if "__checksums__" in data.files:
+                try:
+                    checksums = json.loads(str(data["__checksums__"][()]))
+                except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                    raise SnapshotError(f"{path}: corrupt checksum table ({exc})") from exc
+            fields = {
+                name[len("field_"):]: data[name]
+                for name in data.files
+                if name.startswith("field_")
+            }
+            if checksums is not None:
+                missing = sorted(set(checksums) - {f"field_{n}" for n in fields})
+                if missing:
+                    raise SnapshotError(
+                        f"{path}: truncated snapshot, missing fields {missing}"
+                    )
+                for name, arr in sorted(fields.items()):
+                    want = checksums.get(f"field_{name}")
+                    if want is None:
+                        raise SnapshotError(f"{path}: field {name!r} has no checksum")
+                    got = _field_checksum(arr)
+                    if got != int(want):
+                        raise SnapshotError(
+                            f"{path}: checksum mismatch on field {name!r} "
+                            f"(recorded {int(want):#010x}, computed {got:#010x})"
+                        )
+    except SnapshotError:
+        raise
+    except Exception as exc:
+        # zipfile.BadZipFile / OSError / EOFError / ValueError from short
+        # reads all mean the same thing to the caller: unreadable snapshot.
+        raise SnapshotError(f"{path}: unreadable particle snapshot ({exc})") from exc
     if "position" not in fields:
-        raise ValueError(f"{path}: not a particle snapshot (missing position)")
+        raise SnapshotError(f"{path}: not a particle snapshot (missing position)")
     core = {
         "position": fields.pop("position"),
         "velocity": fields.pop("velocity", None),

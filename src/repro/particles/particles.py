@@ -61,6 +61,29 @@ class ParticleSet:
         for name, arr in extra.items():
             self._set(name, np.ascontiguousarray(arr))
 
+    @classmethod
+    def from_arrays(cls, fields: dict[str, np.ndarray]) -> "ParticleSet":
+        """Reconstruct a set from a field dict *exactly* — no dtype coercion,
+        no synthesized fields.  This is the checkpoint-restore path: the
+        constructor normalizes (float64 core fields, fresh ``orig_index``),
+        which would break the dtype-for-dtype round-trip guarantee.
+        """
+        if "position" not in fields:
+            raise ValueError("from_arrays requires a 'position' field")
+        n = len(fields["position"])
+        out = object.__new__(cls)
+        out._fields = {}
+        for name, arr in fields.items():
+            arr = np.ascontiguousarray(arr)
+            if arr.shape[:1] != (n,):
+                raise ValueError(
+                    f"field {name!r} has leading dimension {arr.shape[:1]}, expected ({n},)"
+                )
+            out._fields[name] = arr
+        if "orig_index" not in out._fields:
+            out._fields["orig_index"] = np.arange(n, dtype=np.int64)
+        return out
+
     # -- field registry ----------------------------------------------------
     def _set(self, name: str, arr: np.ndarray) -> None:
         arr = np.asarray(arr)

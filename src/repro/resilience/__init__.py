@@ -1,0 +1,70 @@
+"""Checkpoint/restart and crash recovery.
+
+Four layers (mirroring the Charm++/ChaNGa lineage the paper builds on):
+
+* :mod:`~repro.resilience.checkpoint` — versioned, CRC-checksummed
+  checkpoints of the full pipeline state, with interval policy and
+  rotation (:class:`CheckpointWriter`) and the driver-facing
+  :func:`capture_run` / :func:`restore_run` pair;
+* :mod:`~repro.resilience.buddy` — in-memory double checkpointing: each
+  rank mirrors its blob to a ring buddy, so any single failure recovers
+  without touching disk;
+* :mod:`~repro.resilience.recovery` — the accounting the DES runtime
+  fills in when ``crash=P@R`` fires: state lost, bytes refetched from the
+  buddy, recovery span (:class:`RecoveryReport` on ``SimResult``);
+* :mod:`~repro.resilience.audit` — consistency checks after any restore
+  (tree invariants, well-formed arrays) and the bit-exact cross-checkpoint
+  audit that underwrites the "resume == uninterrupted baseline" guarantee.
+
+``repro resume <checkpoint>`` (see :mod:`repro.resilience.resume`) rebuilds
+the owning application Driver and continues the run.
+"""
+
+from .checkpoint import (
+    CHECKPOINT_VERSION,
+    Checkpoint,
+    CheckpointError,
+    CheckpointWriter,
+    array_checksum,
+    capture_run,
+    checkpoint_from_bytes,
+    checkpoint_to_bytes,
+    latest_checkpoint,
+    load_checkpoint,
+    restore_run,
+    save_checkpoint,
+)
+from .buddy import BuddyStore
+from .recovery import CrashRecovery, RecoveryReport
+from .audit import (
+    ConsistencyError,
+    assert_consistent,
+    audit_checkpoints,
+    audit_restore,
+    audit_state_files,
+    compare_checkpoints,
+)
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "Checkpoint",
+    "CheckpointError",
+    "CheckpointWriter",
+    "array_checksum",
+    "capture_run",
+    "checkpoint_from_bytes",
+    "checkpoint_to_bytes",
+    "latest_checkpoint",
+    "load_checkpoint",
+    "restore_run",
+    "save_checkpoint",
+    "BuddyStore",
+    "CrashRecovery",
+    "RecoveryReport",
+    "ConsistencyError",
+    "assert_consistent",
+    "audit_checkpoints",
+    "audit_restore",
+    "audit_state_files",
+    "compare_checkpoints",
+]

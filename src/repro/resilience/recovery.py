@@ -1,0 +1,118 @@
+"""Crash-recovery accounting for the DES runtime.
+
+When ``crash=P@R`` fires in the communication simulator, the crashed
+process loses real state — warm cache lines, in-flight responses, queued
+worker tasks — and recovery has a real cost: the restart window, then a
+buddy-checkpoint fetch (request latency + serialization + injection
+bandwidth + return latency) and a local deserialize before the process is
+whole again.  These dataclasses carry that accounting out of the simulator:
+one :class:`CrashRecovery` per crash event, aggregated into the
+:class:`RecoveryReport` attached to ``SimResult.recovery`` (and therefore
+to ``IterationReport.comm_sim["recovery"]`` on driver fault replays).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["CrashRecovery", "RecoveryReport"]
+
+
+@dataclass
+class CrashRecovery:
+    """What one crash destroyed and what its recovery cost.
+
+    All times are on the simulated clock.  ``recovered_at`` is set when the
+    buddy checkpoint has been fetched and deserialized; until then the
+    event is still in recovery (a crash near the end of an iteration can
+    finish recovering after the last bucket completes, in which case
+    ``recovered_at`` stays at the restart boundary recorded by the sim).
+    """
+
+    process: int
+    #: rank holding the checkpoint replica (None on single-process runs,
+    #: which reload their own local copy and pay deserialize time only)
+    buddy: int | None
+    crashed_at: float
+    restart_delay: float
+    #: warm cache lines forgotten by the crash (each will be re-requested)
+    lost_cache_lines: int
+    #: bytes of cached fill data those lines held
+    lost_bytes: float
+    #: outstanding fetches whose responses the crash orphaned
+    requests_in_flight: int
+    #: queued worker tasks stalled through the restart window
+    tasks_reissued: int
+    #: size of the per-rank checkpoint blob (subtree payload homed there)
+    checkpoint_bytes: float
+    #: bytes actually pulled over the wire from the buddy (0 for local)
+    bytes_refetched: float = 0.0
+    recovered_at: float | None = None
+
+    @property
+    def recovery_time(self) -> float:
+        """Crash to fully-recovered span (falls back to the restart window
+        when the simulation ended before recovery completed)."""
+        if self.recovered_at is not None:
+            return self.recovered_at - self.crashed_at
+        return self.restart_delay
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "process": int(self.process),
+            "buddy": None if self.buddy is None else int(self.buddy),
+            "crashed_at": float(self.crashed_at),
+            "restart_delay": float(self.restart_delay),
+            "lost_cache_lines": int(self.lost_cache_lines),
+            "lost_bytes": float(self.lost_bytes),
+            "requests_in_flight": int(self.requests_in_flight),
+            "tasks_reissued": int(self.tasks_reissued),
+            "checkpoint_bytes": float(self.checkpoint_bytes),
+            "bytes_refetched": float(self.bytes_refetched),
+            "recovered_at": None if self.recovered_at is None else float(self.recovered_at),
+            "recovery_time": float(self.recovery_time),
+        }
+
+
+@dataclass
+class RecoveryReport:
+    """Aggregate of every crash-recovery event in one simulated iteration."""
+
+    events: list[CrashRecovery] = field(default_factory=list)
+
+    @property
+    def n_crashes(self) -> int:
+        return len(self.events)
+
+    @property
+    def lost_cache_lines(self) -> int:
+        return sum(e.lost_cache_lines for e in self.events)
+
+    @property
+    def lost_bytes(self) -> float:
+        return sum(e.lost_bytes for e in self.events)
+
+    @property
+    def bytes_refetched(self) -> float:
+        return sum(e.bytes_refetched for e in self.events)
+
+    @property
+    def tasks_reissued(self) -> int:
+        return sum(e.tasks_reissued for e in self.events)
+
+    @property
+    def recovery_time(self) -> float:
+        """Total simulated time spent in recovery, summed over events."""
+        return sum(e.recovery_time for e in self.events)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "n_crashes": self.n_crashes,
+            "lost_cache_lines": self.lost_cache_lines,
+            "lost_bytes": self.lost_bytes,
+            "bytes_refetched": self.bytes_refetched,
+            "tasks_reissued": self.tasks_reissued,
+            "recovery_time": self.recovery_time,
+            "events": [e.to_dict() for e in self.events],
+        }

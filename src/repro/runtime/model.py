@@ -39,6 +39,7 @@ from ..cache.models import CacheModel, RetryPolicy, WAITFREE
 from ..faults import FaultCounters, FaultInjector, FaultPlan, IterationFailure, as_injector
 from ..obs import Telemetry, get_telemetry
 from ..perf.critical_path import CPRecorder, CriticalPathReport, analyze_critical_path
+from ..resilience.recovery import CrashRecovery, RecoveryReport
 from .des import FifoResource, Simulator, WorkerPool
 from .machine import MachineSpec, STAMPEDE2
 from .tracing import ActivityTrace, activity_totals, barrier_waits
@@ -65,6 +66,8 @@ class SimResult:
     faults: FaultCounters | None = None
     #: critical-path attribution (None unless ``critical_path=True``)
     critical_path: CriticalPathReport | None = None
+    #: per-crash recovery accounting (None unless a crash actually fired)
+    recovery: RecoveryReport | None = None
 
     @property
     def total_cores(self) -> int:
@@ -93,6 +96,8 @@ class SimResult:
             out["faults"] = self.faults.to_dict()
         if self.critical_path is not None:
             out["critical_path"] = self.critical_path.to_dict()
+        if self.recovery is not None:
+            out["recovery"] = self.recovery.to_dict()
         return out
 
 
@@ -190,6 +195,10 @@ class TraversalSim:
         self._slow: list[float] = [1.0] * n_processes
         #: processes currently down (process -> restart-complete time)
         self._crashed_until: dict[int, float] = {}
+        #: one CrashRecovery per fired crash event, in crash order
+        self.recovery_events: list[CrashRecovery] = []
+        #: lazily computed per-process checkpoint blob sizes
+        self._ckpt_bytes_by_proc: np.ndarray | None = None
         # Critical-path recording: one shared event graph; the pools and
         # FIFO resources record their own queue/service nodes, the request
         # lifecycle below records the wire legs.  None keeps every hook on
@@ -494,23 +503,115 @@ class TraversalSim:
         until = self._crashed_until.get(proc)
         return until is not None and self.sim.now < until
 
+    def _checkpoint_bytes(self, proc: int) -> float:
+        """Size of the rank's in-memory checkpoint blob: the fill payload
+        of every fetch group homed on it (the Subtree data that rank owns)
+        plus a fixed header for particle/bookkeeping state."""
+        if self._ckpt_bytes_by_proc is None:
+            group_bytes = np.asarray(self.workload.groups.group_bytes, dtype=np.float64)
+            home = self.st_proc[np.asarray(self.workload.groups.group_subtree)]
+            self._ckpt_bytes_by_proc = np.bincount(
+                home, weights=group_bytes, minlength=self.n_processes
+            )
+        return float(self._ckpt_bytes_by_proc[proc]) + 4096.0
+
     def _crash(self, proc: int, restart_delay: float) -> None:
-        """Process ``proc`` dies now and restarts ``restart_delay`` later:
-        its software cache is cold again (present groups forgotten, so
-        later buckets re-request them), responses in flight to it are lost
-        (their timeouts re-send), and every worker stalls for the restart
-        window before picking up queued work."""
+        """Process ``proc`` dies now and restarts ``restart_delay`` later —
+        and the crash *loses state*, which recovery must pay to rebuild:
+
+        * every present cache line is forgotten (cold cache: later buckets
+          re-request those groups) and counted as lost bytes;
+        * responses in flight to the process are lost (their timeouts
+          re-send after the restart);
+        * queued worker tasks stall through the restart window, then are
+          re-issued from the preempted queues;
+        * after the restart the process fetches its buddy's in-memory
+          checkpoint replica (Charm++ double checkpointing): request
+          latency to the buddy, serialization on the buddy's comm thread,
+          the blob through the buddy's injection pipe, latency back, and a
+          local deserialize that stalls every worker again.  Re-issued
+          traversal work overlaps the fetch (the restarted workers chew
+          their queues while the blob streams in), mirroring a restart
+          that overlaps recovery with recomputation.
+
+        On single-process runs there is no buddy; the local blob is
+        reloaded, paying deserialize time only.
+        """
+        sim = self.sim
         self.injector.counters.crash_restarts += 1
-        self._crashed_until[proc] = self.sim.now + restart_delay
-        for st in self.states[proc].values():
+        self._crashed_until[proc] = sim.now + restart_delay
+        group_bytes = self.workload.groups.group_bytes
+        lost_lines = 0
+        lost_bytes = 0.0
+        in_flight = 0
+        for key, st in self.states[proc].items():
             if st.present:
                 st.present = False
                 st.requesters.clear()
+                lost_lines += 1
+                lost_bytes += float(group_bytes[key[1]])
+            elif st.requesters:
+                in_flight += 1
+        tasks_reissued = self.pools[proc].queued
         self.pools[proc].preempt_all(restart_delay, label="restart")
+
+        buddy = (proc + 1) % self.n_processes if self.n_processes > 1 else None
+        ckpt_bytes = self._checkpoint_bytes(proc)
+        rec = CrashRecovery(
+            process=proc, buddy=buddy, crashed_at=sim.now,
+            restart_delay=restart_delay, lost_cache_lines=lost_lines,
+            lost_bytes=lost_bytes, requests_in_flight=in_flight,
+            tasks_reissued=tasks_reissued, checkpoint_bytes=ckpt_bytes,
+        )
+        self.recovery_events.append(rec)
+
+        deserialize_time = (
+            self.cost.insert_fixed + self.cost.insert_per_byte * ckpt_bytes
+        ) * self._slow[proc]
+
+        def finish_recovery():
+            rec.recovered_at = sim.now
+
+        def deserialize():
+            if buddy is not None:
+                rec.bytes_refetched = ckpt_bytes
+            self.pools[proc].preempt_all(deserialize_time, label="checkpoint load")
+            sim.schedule(deserialize_time, finish_recovery)
+
+        if buddy is None:
+            sim.schedule(restart_delay, deserialize)
+            return
+
+        serialize_time = (
+            self.cost.serialize_fixed + self.cost.serialize_per_byte * ckpt_bytes
+        ) * self._slow[buddy]
+        send_time = ckpt_bytes / self.machine.net_bandwidth_Bps
+
+        def response_back():
+            sim.schedule(self._latency(buddy, proc), deserialize)
+
+        def request_arrives():
+            # The checkpoint channel is reliable (the recovery protocol
+            # retries internally), but it shares the buddy's comm thread
+            # and injection pipe with regular fills, so a busy buddy slows
+            # the recovery — and the blob slows the buddy's own responses.
+            self.bytes_moved += ckpt_bytes
+            self.comm_threads[buddy].submit(
+                serialize_time,
+                on_done=lambda: self.pipes[buddy].submit(
+                    send_time, on_done=response_back
+                ),
+            )
+
+        def start_fetch():
+            sim.schedule(self._latency(proc, buddy), request_arrives)
+
+        sim.schedule(restart_delay, start_fetch)
 
     def _export_telemetry(
         self, telemetry: Telemetry, total_time: float, activity: dict[str, float],
         cp_report: CriticalPathReport | None = None,
+        recovery: RecoveryReport | None = None,
     ) -> None:
         """Fold the finished simulation into the telemetry session: every
         worker-task interval becomes a trace event on simulated time (pid =
@@ -533,6 +634,9 @@ class TraversalSim:
             telemetry.tracer.record_critical_path(cp_report)
             for kind, seconds in cp_report.components.items():
                 metrics.gauge("des.critical_path", model=model, kind=kind).set(seconds)
+        if recovery is not None:
+            telemetry.tracer.record_recovery(recovery)
+            metrics.absorb_recovery_report(recovery, model=model)
 
     # -- main -------------------------------------------------------------------
     def run(self) -> SimResult:
@@ -626,8 +730,13 @@ class TraversalSim:
                 barrier_wait=(barrier_waits(self.trace, total_time)
                               if self.trace is not None else None),
             )
+        recovery = (
+            RecoveryReport(list(self.recovery_events))
+            if self.recovery_events else None
+        )
         if telemetry.enabled:
-            self._export_telemetry(telemetry, total_time, activity, cp_report)
+            self._export_telemetry(telemetry, total_time, activity, cp_report,
+                                   recovery)
         return SimResult(
             time=total_time,
             n_processes=self.n_processes,
@@ -641,6 +750,7 @@ class TraversalSim:
             events=self.sim.events_processed,
             faults=self.injector.counters if self.injector is not None else None,
             critical_path=cp_report,
+            recovery=recovery,
         )
 
 

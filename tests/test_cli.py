@@ -77,3 +77,72 @@ class TestCLI:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestCheckpointCLI:
+    """``--checkpoint-every`` / ``repro resume`` / ``repro audit``."""
+
+    GRAVITY = ["gravity", "--n", "900", "--dt", "1e-3", "--seed", "3"]
+
+    def test_kill_and_resume_matches_baseline(self, capsys, tmp_path):
+        base = tmp_path / "base.npz"
+        resumed = tmp_path / "resumed.npz"
+        ckpt_dir = tmp_path / "ckpt"
+        assert main(self.GRAVITY + ["--iterations", "3",
+                                    "--save-state", str(base)]) == 0
+        assert main(self.GRAVITY + ["--iterations", "2",
+                                    "--checkpoint-every", "1",
+                                    "--checkpoint-dir", str(ckpt_dir)]) == 0
+        assert (ckpt_dir / "ckpt_000002.npz").exists()
+        assert main(["resume", str(ckpt_dir / "ckpt_000002.npz"),
+                     "--iterations", "3", "--save-state", str(resumed)]) == 0
+        out = capsys.readouterr().out
+        assert "resumed gravity at iteration 2" in out
+        assert "consistency audit passed" in out
+        assert main(["audit", str(base), str(resumed)]) == 0
+        assert "bit-identical" in capsys.readouterr().out
+
+    def test_audit_detects_divergence(self, capsys, tmp_path):
+        a, b = tmp_path / "a.npz", tmp_path / "b.npz"
+        assert main(self.GRAVITY + ["--iterations", "1",
+                                    "--save-state", str(a)]) == 0
+        assert main(["gravity", "--n", "900", "--dt", "2e-3", "--seed", "3",
+                     "--iterations", "1", "--save-state", str(b)]) == 0
+        capsys.readouterr()
+        assert main(["audit", str(a), str(b)]) == 1
+        assert "difference" in capsys.readouterr().out
+
+    def test_audit_unreadable_file_errors(self, tmp_path, capsys):
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(b"nope")
+        assert main(["audit", str(bad), str(bad)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_resume_missing_checkpoint_errors(self, tmp_path, capsys):
+        assert main(["resume", str(tmp_path / "none.npz")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_sph_checkpoint_resume(self, capsys, tmp_path):
+        ckpt_dir = tmp_path / "ckpt"
+        assert main(["sph", "--n", "700", "--k", "12", "--iterations", "2",
+                     "--dt", "1e-3", "--checkpoint-every", "1",
+                     "--checkpoint-dir", str(ckpt_dir)]) == 0
+        assert main(["resume", str(ckpt_dir / "ckpt_000002.npz"),
+                     "--iterations", "3"]) == 0
+        assert "resumed sph at iteration 2" in capsys.readouterr().out
+
+    def test_gravity_crash_prints_recovery(self, capsys):
+        assert main(["gravity", "--n", "900", "--iterations", "1",
+                     "--faults", "crash=0.9@0.25,seed=4"]) == 0
+        out = capsys.readouterr().out
+        assert "recovery:" in out and "crash(es)" in out
+
+    def test_crash_recovery_lane_in_trace(self, capsys, tmp_path):
+        trace = tmp_path / "t.json"
+        assert main(["gravity", "--n", "900", "--iterations", "1",
+                     "--faults", "crash=0.9@0.25,seed=4",
+                     "--trace", str(trace)]) == 0
+        doc = json.loads(trace.read_text())
+        lanes = [e["args"]["name"] for e in doc["traceEvents"]
+                 if e.get("ph") == "M"]
+        assert "⟲ recovery" in lanes

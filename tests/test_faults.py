@@ -313,3 +313,95 @@ class TestDriverDegradation:
         driver = self._run_driver("drop=0.05,seed=2")
         d = driver.reports[0].to_dict()
         assert d["comm_sim"]["faults"]["drops"] >= 0
+
+
+class TestCrashRecoverySemantics:
+    """PR 4: crashes lose real state and recovery has a visible cost."""
+
+    def _crash_run(self, workload, spec="crash=0.9@0.25,seed=4", telemetry=None):
+        return simulate_traversal(workload, SUMMIT, n_processes=8,
+                                  faults=parse_fault_spec(spec),
+                                  telemetry=telemetry)
+
+    def test_crash_loses_state_and_reports_recovery(self, workload):
+        r = self._crash_run(workload)
+        rec = r.recovery
+        assert rec is not None
+        assert rec.n_crashes == r.faults.crash_restarts > 0
+        assert rec.lost_cache_lines > 0
+        assert rec.lost_bytes > 0
+        assert rec.recovery_time > 0
+        for ev in rec.events:
+            assert ev.buddy == (ev.process + 1) % 8
+            assert ev.checkpoint_bytes > 0
+        assert any(ev.recovered_at is not None for ev in rec.events)
+        # Buddy fetches are real traffic on the simulated network.
+        assert rec.bytes_refetched > 0
+
+    def test_crash_recovery_in_result_dict(self, workload):
+        d = self._crash_run(workload).to_dict()
+        assert d["recovery"]["n_crashes"] > 0
+        assert d["recovery"]["events"][0]["lost_cache_lines"] >= 0
+
+    def test_same_seed_same_crash_bit_identical(self, workload):
+        """ISSUE acceptance: same seed + same crash spec => bit-identical
+        SimResult, recovery accounting included."""
+        a = self._crash_run(workload)
+        b = self._crash_run(workload)
+        assert a.time == b.time
+        assert a.events == b.events
+        assert a.bytes_moved == b.bytes_moved
+        assert a.faults.to_dict() == b.faults.to_dict()
+        assert a.recovery.to_dict() == b.recovery.to_dict()
+
+    def test_distinct_crash_seeds_distinct_crash_times(self, workload):
+        """ISSUE acceptance: two crash-fault streams seeded differently
+        crash at different simulated times."""
+        a = self._crash_run(workload, "crash=0.9@0.25,seed=4")
+        b = self._crash_run(workload, "crash=0.9@0.25,seed=5")
+        times_a = [ev.crashed_at for ev in a.recovery.events]
+        times_b = [ev.crashed_at for ev in b.recovery.events]
+        assert times_a != times_b
+
+    def test_crash_costs_simulated_time(self, workload):
+        base = simulate_traversal(workload, SUMMIT, n_processes=8)
+        crashed = self._crash_run(workload)
+        assert crashed.time > base.time
+
+    def test_no_crash_no_recovery_report(self, workload):
+        r = simulate_traversal(workload, SUMMIT, n_processes=8,
+                               faults=parse_fault_spec("drop=0.05,seed=1"))
+        assert r.recovery is None
+        assert "recovery" not in r.to_dict()
+
+    def test_recovery_flows_to_telemetry(self, workload):
+        from repro.obs import Telemetry
+
+        tel = Telemetry()
+        r = self._crash_run(workload, telemetry=tel)
+        rec = r.recovery
+        assert tel.metrics.total("recovery.crashes") == rec.n_crashes
+        assert tel.metrics.total("recovery.lost_bytes") == rec.lost_bytes
+        assert tel.metrics.total("recovery.bytes_refetched") == rec.bytes_refetched
+        restart_spans = [e for e in tel.tracer.events
+                         if e.get("cat") == "recovery"
+                         and e["name"].startswith("restart")]
+        fetch_spans = [e for e in tel.tracer.events
+                       if e.get("cat") == "recovery"
+                       and e["name"].startswith("checkpoint fetch")]
+        assert len(restart_spans) == rec.n_crashes
+        assert fetch_spans, "buddy fetch should occupy the recovery lane"
+        from repro.obs import chrome_trace
+
+        doc = chrome_trace(tel)
+        lane_names = [e["args"]["name"] for e in doc["traceEvents"]
+                      if e.get("ph") == "M"]
+        assert "⟲ recovery" in lane_names
+
+    def test_single_process_reloads_locally(self, workload):
+        r = simulate_traversal(workload, SUMMIT, n_processes=1,
+                               faults=parse_fault_spec("crash=0.9@0.25,seed=4"))
+        rec = r.recovery
+        assert rec is not None and rec.n_crashes > 0
+        assert all(ev.buddy is None for ev in rec.events)
+        assert rec.bytes_refetched == 0.0
