@@ -1,0 +1,129 @@
+"""Parallel execution backend scaling: serial vs threads vs processes.
+
+Times the *same* gravity/kNN traversal through each ``repro.exec`` backend
+(the differential harness guarantees the answers are bit-identical, so
+these are honest apples-to-apples timings) and records a speedup curve for
+the process backend.  Numbers are environment-fingerprinted by the perf
+harness — on a single-core machine the curve is flat and that is the
+correct result; the regression gate compares like with like.
+
+Run ``python -m repro bench run --quick 'exec.*' -o BENCH_pr5.json`` to
+regenerate the PR 5 record.
+"""
+
+import time
+
+from repro.apps.gravity import GravityVisitor, compute_centroid_arrays
+from repro.apps.knn.knn import knn_search
+from repro.core import get_traverser
+from repro.exec import get_backend
+from repro.particles.generators import clustered_clumps
+from repro.perf import benchmark as perf_benchmark
+from repro.trees import build_tree
+
+
+def _gravity_workload(quick=False):
+    n = 4_000 if quick else 20_000
+    tree = build_tree(clustered_clumps(n, seed=29), tree_type="oct",
+                      bucket_size=16)
+    arrays = compute_centroid_arrays(tree, theta=0.6)
+
+    def make_visitor():
+        return GravityVisitor(tree, arrays, softening=1e-3)
+
+    return tree, make_visitor
+
+
+@perf_benchmark("exec.gravity_serial", group="exec",
+                description="gravity traversal, serial backend (oracle)")
+def perf_gravity_serial(quick=False):
+    tree, make_visitor = _gravity_workload(quick)
+    engine = get_traverser("transposed")
+
+    def run():
+        engine.traverse(tree, make_visitor(), None)
+
+    return run
+
+
+def _gravity_backend_bench(backend_name, workers):
+    def setup(quick=False):
+        tree, make_visitor = _gravity_workload(quick)
+        backend = get_backend(backend_name, workers=workers)
+        # warm the pool (process fork / thread spawn) outside the samples
+        backend.run(tree, "transposed", make_visitor())
+
+        def run():
+            backend.run(tree, "transposed", make_visitor())
+            return {"mode": backend.last_mode}
+
+        return run
+
+    return setup
+
+
+perf_gravity_threads = perf_benchmark(
+    "exec.gravity_threads_w4", group="exec",
+    description="gravity traversal, thread backend, 4 workers",
+)(_gravity_backend_bench("threads", 4))
+
+perf_gravity_processes = perf_benchmark(
+    "exec.gravity_processes_w4", group="exec",
+    description="gravity traversal, process backend, 4 workers (shm zero-copy)",
+)(_gravity_backend_bench("processes", 4))
+
+
+@perf_benchmark("exec.knn_processes_w4", group="exec",
+                description="kNN (k=16) up-and-down, process backend, 4 workers")
+def perf_knn_processes(quick=False):
+    n = 4_000 if quick else 20_000
+    tree = build_tree(clustered_clumps(n, seed=31), tree_type="kd",
+                      bucket_size=16)
+    backend = get_backend("processes", workers=4)
+    knn_search(tree, 16, backend=backend)  # warm the pool
+
+    def run():
+        knn_search(tree, 16, backend=backend)
+        return {"mode": backend.last_mode}
+
+    return run
+
+
+@perf_benchmark("exec.speedup_curve", group="exec", repeats=3, quick_repeats=2,
+                description="process-backend speedup at 2 and 4 workers vs serial")
+def perf_speedup_curve(quick=False):
+    tree, make_visitor = _gravity_workload(quick)
+    engine = get_traverser("transposed")
+    backends = {w: get_backend("processes", workers=w) for w in (2, 4)}
+    for b in backends.values():
+        b.run(tree, "transposed", make_visitor())  # warm pools
+
+    def run():
+        t0 = time.perf_counter()
+        engine.traverse(tree, make_visitor(), None)
+        serial_s = time.perf_counter() - t0
+        extras = {"serial_ms": serial_s * 1e3}
+        for w, b in backends.items():
+            t0 = time.perf_counter()
+            b.run(tree, "transposed", make_visitor())
+            par_s = time.perf_counter() - t0
+            extras[f"speedup_w{w}"] = serial_s / par_s if par_s > 0 else 0.0
+        return extras
+
+    return run
+
+
+def test_backends_agree_and_scale(benchmark):
+    """pytest-benchmark wrapper: one quick 4-worker process run, asserting
+    the parallel path actually engaged."""
+    tree, make_visitor = _gravity_workload(quick=True)
+    backend = get_backend("processes", workers=4)
+    backend.run(tree, "transposed", make_visitor())
+
+    def run():
+        backend.run(tree, "transposed", make_visitor())
+        return backend.last_mode
+
+    mode = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert mode == "parallel"
+    backend.shutdown()

@@ -54,6 +54,22 @@ def _add_critical_path(p: argparse.ArgumentParser) -> None:
                         "longest dependency chain")
 
 
+def _add_parallel(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--backend", default="serial",
+                   choices=["serial", "threads", "processes"],
+                   help="execution backend for traversals; results are "
+                        "bit-identical to serial for any worker count")
+    p.add_argument("--workers", type=int, default=0, metavar="W",
+                   help="worker count for --backend threads/processes "
+                        "(0 = CPU count)")
+
+
+def _enable_parallel_from_args(driver, args) -> None:
+    """Attach the requested execution backend to a Driver run."""
+    if getattr(args, "backend", "serial") != "serial":
+        driver.enable_parallel(args.backend, workers=args.workers or None)
+
+
 def _add_checkpoint(p: argparse.ArgumentParser) -> None:
     p.add_argument("--checkpoint-every", type=int, default=0, metavar="K",
                    help="write a checkpoint every K completed iterations "
@@ -191,7 +207,7 @@ def cmd_gravity(args) -> int:
     wants_driver = (
         telemetry is not None or fault_plan is not None or args.critical_path
         or args.checkpoint_every or args.save_state or args.dt > 0
-        or args.iterations > 1
+        or args.iterations > 1 or args.backend != "serial"
     )
     if wants_driver:
         # Run the full Driver pipeline so the trace shows all seven
@@ -213,6 +229,7 @@ def cmd_gravity(args) -> int:
 
         driver = Main(cfg, theta=args.theta, softening=args.softening,
                       dt=args.dt, with_quadrupole=args.quadrupole)
+        _enable_parallel_from_args(driver, args)
         if telemetry is not None:
             driver.enable_telemetry(telemetry)
         if fault_plan is not None:
@@ -228,6 +245,7 @@ def cmd_gravity(args) -> int:
             )
         t0 = time.time()
         driver.run()
+        driver.disable_parallel()
         print(f"traversal: {time.time() - t0:.2f}s  {driver.last_stats.as_dict()}")
         for rep in driver.reports:
             cs = rep.comm_sim
@@ -274,7 +292,8 @@ def cmd_sph(args) -> int:
     telemetry = _telemetry_from_args(args)
     p = uniform_cube(args.n, seed=args.seed)
     fault_plan = _fault_plan_from_args(args)
-    if args.checkpoint_every or args.save_state or args.dt > 0 or args.iterations > 1:
+    if (args.checkpoint_every or args.save_state or args.dt > 0
+            or args.iterations > 1 or args.backend != "serial"):
         from .apps.sph import SPHDriver
         from .core import Configuration
 
@@ -286,6 +305,7 @@ def cmd_sph(args) -> int:
                 return p
 
         driver = Main(cfg, k_neighbors=args.k, dt=args.dt)
+        _enable_parallel_from_args(driver, args)
         if telemetry is not None:
             driver.enable_telemetry(telemetry)
         if fault_plan is not None:
@@ -297,6 +317,7 @@ def cmd_sph(args) -> int:
             )
         t0 = time.time()
         driver.run()
+        driver.disable_parallel()
         print(f"{args.iterations} iteration(s) in {time.time() - t0:.2f}s; "
               f"median rho {np.median(driver.state.density):.4f}")
         if args.save_state:
@@ -325,7 +346,7 @@ def cmd_knn(args) -> int:
     telemetry = _telemetry_from_args(args)
     p = clustered_clumps(args.n, seed=args.seed)
     fault_plan = _fault_plan_from_args(args)
-    if args.checkpoint_every or args.save_state:
+    if args.checkpoint_every or args.save_state or args.backend != "serial":
         from .apps.knn import KNNDriver
         from .core import Configuration
 
@@ -337,6 +358,7 @@ def cmd_knn(args) -> int:
                 return p
 
         driver = Main(cfg, k=args.k)
+        _enable_parallel_from_args(driver, args)
         if telemetry is not None:
             driver.enable_telemetry(telemetry)
         if fault_plan is not None:
@@ -348,6 +370,7 @@ def cmd_knn(args) -> int:
             )
         t0 = time.time()
         driver.run()
+        driver.disable_parallel()
         print(f"kNN k={args.k}: {time.time() - t0:.2f}s, "
               f"median d_k={np.median(driver.kth_distances()):.4f}")
         if args.save_state:
@@ -380,6 +403,7 @@ def cmd_disk(args) -> int:
     cfg = Configuration(num_iterations=args.steps, tree_type="longest",
                         decomp_type="longest", num_partitions=16, num_subtrees=16)
     d = Main(cfg, dt=args.dt)
+    _enable_parallel_from_args(d, args)
     telemetry = _telemetry_from_args(args)
     if telemetry is not None:
         d.enable_telemetry(telemetry)
@@ -395,6 +419,7 @@ def cmd_disk(args) -> int:
         )
     t0 = time.time()
     d.run()
+    d.disable_parallel()
     print(f"{args.steps} steps in {time.time() - t0:.1f}s; "
           f"collisions recorded: {len(d.log)}")
     if args.save_state:
@@ -423,7 +448,7 @@ def cmd_correlation(args) -> int:
 
         _chaos_probe(build_tree(particles, tree_type="oct", bucket_size=16),
                      fault_plan)
-    if args.checkpoint_every or args.save_state:
+    if args.checkpoint_every or args.save_state or args.backend != "serial":
         from .apps.correlation import CorrelationDriver
         from .core import Configuration
 
@@ -433,6 +458,7 @@ def cmd_correlation(args) -> int:
 
         driver = Main(Configuration(num_iterations=1),
                       rmin=args.rmin, rmax=args.rmax, bins=args.bins)
+        _enable_parallel_from_args(driver, args)
         if telemetry is not None:
             driver.enable_telemetry(telemetry)
         if args.checkpoint_every:
@@ -443,6 +469,7 @@ def cmd_correlation(args) -> int:
                             "bins": args.bins},
             )
         driver.run()
+        driver.disable_parallel()
         res, edges = driver.result, driver.edges
         print(f"{'r_lo':>8} {'r_hi':>8} {'xi':>10} {'DD':>10}")
         for i in range(len(res.xi)):
@@ -473,6 +500,7 @@ def cmd_resume(args) -> int:
         return 2
     if args.iterations is not None:
         driver.config.num_iterations = args.iterations
+    _enable_parallel_from_args(driver, args)
     telemetry = _telemetry_from_args(args)
     if telemetry is not None:
         driver.enable_telemetry(telemetry)
@@ -490,6 +518,7 @@ def cmd_resume(args) -> int:
         )
     t0 = time.time()
     driver.run(resume_from=ckpt)
+    driver.disable_parallel()
     ran = max(driver.config.num_iterations - ckpt.iteration, 0)
     print(f"resumed {ckpt.app or 'run'} at iteration {ckpt.iteration}: "
           f"ran {ran} more iteration(s) in {time.time() - t0:.2f}s")
@@ -643,6 +672,7 @@ def main(argv=None) -> int:
     _add_faults(g)
     _add_critical_path(g)
     _add_checkpoint(g)
+    _add_parallel(g)
     g.set_defaults(fn=cmd_gravity)
 
     s = sub.add_parser("sph", help="SPH density estimation")
@@ -656,6 +686,7 @@ def main(argv=None) -> int:
     _add_telemetry(s)
     _add_faults(s)
     _add_checkpoint(s)
+    _add_parallel(s)
     s.set_defaults(fn=cmd_sph)
 
     k = sub.add_parser("knn", help="k-nearest-neighbour search")
@@ -666,6 +697,7 @@ def main(argv=None) -> int:
     _add_telemetry(k)
     _add_faults(k)
     _add_checkpoint(k)
+    _add_parallel(k)
     k.set_defaults(fn=cmd_knn)
 
     d = sub.add_parser("disk", help="planetesimal disk with collisions")
@@ -678,6 +710,7 @@ def main(argv=None) -> int:
     _add_faults(d)
     _add_critical_path(d)
     _add_checkpoint(d)
+    _add_parallel(d)
     d.set_defaults(fn=cmd_disk)
 
     c = sub.add_parser("correlation", help="two-point correlation function")
@@ -689,6 +722,7 @@ def main(argv=None) -> int:
     _add_telemetry(c)
     _add_faults(c)
     _add_checkpoint(c)
+    _add_parallel(c)
     c.set_defaults(fn=cmd_correlation)
 
     r = sub.add_parser("resume", help="resume a run from a checkpoint file")
@@ -699,6 +733,7 @@ def main(argv=None) -> int:
     _add_telemetry(r)
     _add_faults(r)
     _add_checkpoint(r)
+    _add_parallel(r)
     r.set_defaults(fn=cmd_resume)
 
     a = sub.add_parser(

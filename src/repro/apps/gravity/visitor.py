@@ -50,6 +50,53 @@ class GravityVisitor(Visitor):
         self.accel = np.zeros((tree.n_particles, 3))
         self.potential = np.zeros(tree.n_particles) if with_potential else None
 
+    # -- parallel-execution protocol (repro.exec) ----------------------------
+    # All writes hit self.accel/self.potential rows of the targets being
+    # traversed, so thread workers can share one instance over disjoint
+    # target chunks, and process workers ship back per-chunk rows.
+    exec_shareable = True
+
+    def exec_config(self) -> dict:
+        return {
+            "G": self.G,
+            "softening": self.softening,
+            "with_potential": self.potential is not None,
+        }
+
+    def exec_arrays(self) -> dict[str, np.ndarray]:
+        out = {
+            "centroid": self.arrays.centroid,
+            "mass": self.arrays.mass,
+            "open_radius_sq": self.arrays.open_radius_sq,
+        }
+        if self.arrays.quad is not None:
+            out["quad"] = self.arrays.quad
+        return out
+
+    @classmethod
+    def exec_rebuild(cls, tree: Tree, arrays: dict[str, np.ndarray], config: dict) -> "GravityVisitor":
+        node_arrays = GravityNodeArrays(
+            mass=arrays["mass"],
+            centroid=arrays["centroid"],
+            open_radius_sq=arrays["open_radius_sq"],
+            quad=arrays.get("quad"),
+        )
+        return cls(tree, node_arrays, G=config["G"], softening=config["softening"],
+                   with_potential=config["with_potential"])
+
+    def exec_collect(self, tree: Tree, targets: np.ndarray) -> dict[str, np.ndarray]:
+        rows = ranges_to_indices(tree.pstart[targets], tree.pend[targets])
+        out = {"accel": self.accel[rows]}
+        if self.potential is not None:
+            out["potential"] = self.potential[rows]
+        return out
+
+    def exec_apply(self, tree: Tree, targets: np.ndarray, outputs: dict[str, np.ndarray]) -> None:
+        rows = ranges_to_indices(tree.pstart[targets], tree.pend[targets])
+        self.accel[rows] = outputs["accel"]
+        if self.potential is not None:
+            self.potential[rows] = outputs["potential"]
+
     # -- scalar interface (paper Fig 7) -------------------------------------
     def open(self, source: SpatialNode, target: SpatialNode) -> bool:
         c = self.arrays.centroid[source.index]

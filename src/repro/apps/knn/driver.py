@@ -27,7 +27,7 @@ class KNNDriver(Driver):
         self.result = None
 
     def traversal(self, iteration: int) -> None:
-        self.result = knn_search(self.tree, k=self.k)
+        self.result = knn_search(self.tree, k=self.k, backend=self.exec_backend)
         self.last_stats.merge(self.result.stats)
 
     def kth_distances(self) -> np.ndarray:

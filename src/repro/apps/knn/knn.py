@@ -110,6 +110,29 @@ class KNNVisitor(Visitor):
             self.index[ts:te] = all_idx
         self.kth_sq[ts:te] = self.dist_sq[ts:te].max(axis=1)
 
+    # -- parallel-execution protocol (repro.exec) ---------------------------
+    # Every write lands on rows [pstart, pend) of the target bucket being
+    # traversed (dist_sq/index/kth_sq), and _covered is keyed by target
+    # leaf — so disjoint target chunks touch disjoint state.
+    exec_shareable = True
+
+    def exec_config(self) -> dict:
+        return {"k": self.k}
+
+    @classmethod
+    def exec_rebuild(cls, tree: Tree, arrays: dict[str, np.ndarray], config: dict) -> "KNNVisitor":
+        return cls(tree, config["k"])
+
+    def exec_collect(self, tree: Tree, targets: np.ndarray) -> dict[str, np.ndarray]:
+        rows = ranges_to_indices(tree.pstart[targets], tree.pend[targets])
+        return {"dist_sq": self.dist_sq[rows], "index": self.index[rows]}
+
+    def exec_apply(self, tree: Tree, targets: np.ndarray, outputs: dict[str, np.ndarray]) -> None:
+        rows = ranges_to_indices(tree.pstart[targets], tree.pend[targets])
+        self.dist_sq[rows] = outputs["dist_sq"]
+        self.index[rows] = outputs["index"]
+        self.kth_sq[rows] = self.dist_sq[rows].max(axis=1)
+
     # -- best-first support (priority traversal) ---------------------------
     def priority(self, tree: Tree, source: int, target: int) -> float:
         """Expansion key for the priority traverser: nearer nodes first, so
@@ -145,14 +168,20 @@ def knn_search(
     k: int,
     targets: np.ndarray | None = None,
     traverser: str = "up-and-down",
+    backend=None,
 ) -> KNNResult:
     """k nearest neighbours of every particle (or of ``targets``' buckets).
 
     Rows are sorted nearest-first.  Neighbour indices refer to tree order;
     use ``tree.particles.orig_index`` to translate back to input labels.
+    ``backend`` (a :class:`~repro.exec.ExecutionBackend`) runs the search
+    over target-bucket chunks concurrently, bit-identically to serial.
     """
     visitor = KNNVisitor(tree, k)
-    stats = get_traverser(traverser).traverse(tree, visitor, targets)
+    if backend is not None:
+        stats = backend.run(tree, traverser, visitor, targets)
+    else:
+        stats = get_traverser(traverser).traverse(tree, visitor, targets)
     order = np.argsort(visitor.dist_sq, axis=1)
     rows = np.arange(tree.n_particles)[:, None]
     return KNNResult(

@@ -59,13 +59,16 @@ def compute_density_knn(
     eta: float = 1.001,
     targets: np.ndarray | None = None,
     kernel: str = "cubic",
+    backend=None,
 ) -> SPHState:
     """One kNN traversal → smoothing lengths and densities.
 
     ``h_i = eta * d_k(i)``: the support radius is (just over) the k-th
     neighbour distance, so exactly the k found neighbours contribute.
+    ``backend`` runs the neighbour traversal through a ``repro.exec``
+    execution backend (bit-identical to serial).
     """
-    result = knn_search(tree, k, targets=targets)
+    result = knn_search(tree, k, targets=targets, backend=backend)
     h = eta * np.sqrt(result.dist_sq[:, -1])
     # Degenerate protection: coincident particle piles can give d_k == 0.
     floor = 1e-12 * max(float(np.max(tree.box_hi[0] - tree.box_lo[0])), 1.0)

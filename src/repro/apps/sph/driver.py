@@ -41,7 +41,7 @@ class SPHDriver(Driver):
         self.state = None  # densities recomputed per iteration
 
     def traversal(self, iteration: int) -> None:
-        self.state = compute_density_knn(self.tree, k=self.k)
+        self.state = compute_density_knn(self.tree, k=self.k, backend=self.exec_backend)
         self.last_stats.merge(self.state.stats)
 
     def post_traversal(self, iteration: int) -> None:

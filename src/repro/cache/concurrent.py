@@ -153,6 +153,11 @@ class SharedTreeCache:
         self.requests_sent = 0
         self.fills_applied = 0
         self.fills_failed = 0
+        #: parked/resumed callback totals; at quiescence (no fill in
+        #: flight) these must be equal — the no-lost-waiter invariant the
+        #: threaded stress tests assert.
+        self.waiters_parked = 0
+        self.waiters_resumed = 0
         self._stats_lock = threading.Lock()
         self.root = self._bootstrap()
 
@@ -235,6 +240,9 @@ class SharedTreeCache:
             # than parking forever (the lost-waiter race).
             on_resume()
             return False
+        if on_resume:
+            with self._stats_lock:
+                self.waiters_parked += 1
         if not placeholder.try_claim_request():
             return False
         with self._stats_lock:
@@ -246,7 +254,10 @@ class SharedTreeCache:
             # released to retry instead of waiting on a dead request.
             with self._stats_lock:
                 self.fills_failed += 1
-            for w in placeholder.fail_fill():
+            failed_waiters = placeholder.fail_fill()
+            with self._stats_lock:
+                self.waiters_resumed += len(failed_waiters)
+            for w in failed_waiters:
                 w()
             return False
         # Step 1: home process serialises the node + descendants (here we
@@ -264,7 +275,10 @@ class SharedTreeCache:
         # Step 5: resume parked traversals — the filled flag flips and the
         # waiter list drains atomically, so no concurrent park can slip
         # between them.
-        for w in placeholder.complete_fill():
+        waiters = placeholder.complete_fill()
+        with self._stats_lock:
+            self.waiters_resumed += len(waiters)
+        for w in waiters:
             w()
         return True
 

@@ -65,7 +65,15 @@ class Partitions:
             if r
         ]
         recorder = _MultiRecorder(recorders) if recorders else None
-        stats = engine.traverse(driver.tree, visitor, self._targets(), recorder)
+        backend = driver._exec_backend
+        if backend is not None:
+            stats = backend.run(
+                driver.tree, engine, visitor, self._targets(), recorder,
+                decomposition=driver.decomposition,
+                shared_cache=driver._iteration_cache(),
+            )
+        else:
+            stats = engine.traverse(driver.tree, visitor, self._targets(), recorder)
         driver.last_stats.merge(stats)
         return stats
 
@@ -102,6 +110,16 @@ class _MultiRecorder(Recorder):
     def on_leaf(self, tree, sources, targets):
         for r in self.recorders:
             r.on_leaf(tree, sources, targets)
+
+    def fork(self):
+        forks = [r.fork() for r in self.recorders]
+        if any(f is None for f in forks):
+            return None
+        return _MultiRecorder(forks)
+
+    def absorb(self, other: "_MultiRecorder") -> None:
+        for mine, theirs in zip(self.recorders, other.recorders):
+            mine.absorb(theirs)
 
 
 def _jsonable(value: Any) -> Any:
@@ -170,6 +188,11 @@ class Driver:
         self._telemetry_lists: InteractionLists | None = None
         self.fault_plan = None
         self.critical_path = False
+        self._exec_backend = None
+        #: per-iteration SharedTreeCache the thread backend's workers warm
+        #: concurrently; rebuilt whenever the tree changes
+        self._shared_cache = None
+        self._shared_cache_tree: Tree | None = None
         #: named PRNG streams whose positions checkpoints capture/restore
         self._rngs: dict[str, np.random.Generator] = {}
         self._ckpt_writer = None
@@ -250,6 +273,56 @@ class Driver:
         if isinstance(plan, str):
             plan = parse_fault_spec(plan)
         self.fault_plan = plan
+
+    def enable_parallel(self, backend: str = "threads", workers: int | None = None,
+                        **opts: Any):
+        """Run every partition traversal through a ``repro.exec`` backend.
+
+        ``backend`` is ``serial`` | ``threads`` | ``processes``; ``workers``
+        defaults to the CPU count.  Results stay bit-identical to serial —
+        backends chunk the target buckets along the Partitions decomposition
+        and reduce in partition order.  The thread backend additionally
+        exercises the :class:`~repro.cache.concurrent.SharedTreeCache`
+        wait-free fill path from its workers.  Returns the backend.
+        """
+        from ..exec import get_backend
+
+        self.disable_parallel()
+        self._exec_backend = get_backend(backend, workers=workers, **opts)
+        return self._exec_backend
+
+    def disable_parallel(self) -> None:
+        """Shut the execution backend down and return to the serial path."""
+        if self._exec_backend is not None:
+            self._exec_backend.shutdown()
+            self._exec_backend = None
+        self._shared_cache = None
+        self._shared_cache_tree = None
+
+    @property
+    def exec_backend(self):
+        """The active :class:`~repro.exec.ExecutionBackend`, or None."""
+        return self._exec_backend
+
+    def _iteration_cache(self):
+        """SharedTreeCache for the thread backend's workers to contend on
+        (rebuilt whenever the tree changes); None for other backends."""
+        backend = self._exec_backend
+        if backend is None or backend.name != "threads" or self.decomposition is None:
+            return None
+        if self._shared_cache is None or self._shared_cache_tree is not self.tree:
+            from ..cache.concurrent import SharedTreeCache
+
+            self._shared_cache = SharedTreeCache(
+                self.tree,
+                self.decomposition.node_process(),
+                process=0,
+                nodes_per_request=self.config.nodes_per_request,
+                shared_branch_levels=self.config.shared_branch_levels,
+                injector=self.fault_plan,
+            )
+            self._shared_cache_tree = self.tree
+        return self._shared_cache
 
     def enable_critical_path(self, enabled: bool = True) -> None:
         """Attribute each iteration's simulated communication schedule.

@@ -115,15 +115,18 @@ class TransposedTraverser(Traverser):
             src, active = stack.pop()
             stats.nodes_visited += 1
             stats.opens += int(active.size)
+            # One source-index array per node, and only when someone listens
+            # (the per-node np.array([src]) showed up in deep-tree profiles).
+            src_arr = np.array([src]) if recorder is not None else None
             if recorder is not None:
-                recorder.on_open(tree, np.array([src]), active)
+                recorder.on_open(tree, src_arr, active)
             mask = np.asarray(visitor.open_batch(tree, src, active), dtype=bool)
             closed = active[~mask]
             if closed.size:
                 stats.node_interactions += int(closed.size)
                 stats.pn_interactions += int(counts[closed].sum())
                 if recorder is not None:
-                    recorder.on_node(tree, np.array([src]), closed)
+                    recorder.on_node(tree, src_arr, closed)
                 visitor.node_batch(tree, src, closed)
             opened = active[mask]
             if not opened.size:
@@ -132,7 +135,7 @@ class TransposedTraverser(Traverser):
                 stats.leaf_interactions += int(opened.size)
                 stats.pp_interactions += int(counts[src]) * int(counts[opened].sum())
                 if recorder is not None:
-                    recorder.on_leaf(tree, np.array([src]), opened)
+                    recorder.on_leaf(tree, src_arr, opened)
                 visitor.leaf_batch(tree, src, opened)
             else:
                 fc = int(first_child[src])

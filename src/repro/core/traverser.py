@@ -99,6 +99,18 @@ class Recorder:
     def on_leaf(self, tree: Tree, sources: np.ndarray, targets: np.ndarray) -> None:
         pass
 
+    # -- parallel execution (repro.exec) -----------------------------------
+    def fork(self) -> "Recorder | None":
+        """An empty recorder of the same kind for one worker chunk, or None
+        when this recorder cannot be split (backends then run serially).
+        After the chunk completes the backend hands the fork back through
+        :meth:`absorb`, in chunk order."""
+        return None
+
+    def absorb(self, other: "Recorder") -> None:
+        """Merge a completed fork back in (chunk order)."""
+        raise NotImplementedError
+
 
 class InteractionLists(Recorder):
     """Recorder that collects, per target bucket, which source nodes were
@@ -126,6 +138,20 @@ class InteractionLists(Recorder):
     def on_leaf(self, tree: Tree, sources: np.ndarray, targets: np.ndarray) -> None:
         self._extend(self.leaf_lists, sources, targets)
 
+    def fork(self) -> "InteractionLists":
+        return InteractionLists()
+
+    def absorb(self, other: "InteractionLists") -> None:
+        # Chunks own disjoint target buckets, so per-target lists come from
+        # exactly one fork and stay identical to a serial run.
+        for mine, theirs in (
+            (self.node_lists, other.node_lists),
+            (self.leaf_lists, other.leaf_lists),
+            (self.visited, other.visited),
+        ):
+            for t, src in theirs.items():
+                mine.setdefault(t, []).extend(src)
+
 
 class BucketLoadRecorder(Recorder):
     """Tallies interaction work per target bucket — the measured load the
@@ -144,6 +170,15 @@ class BucketLoadRecorder(Recorder):
         t = np.atleast_1d(targets)
         src_particles = int(self._counts[np.atleast_1d(sources)].sum())
         self.work[t] += src_particles * self._counts[t]
+
+    def fork(self) -> "BucketLoadRecorder":
+        out = object.__new__(BucketLoadRecorder)
+        out.work = np.zeros_like(self.work)
+        out._counts = self._counts
+        return out
+
+    def absorb(self, other: "BucketLoadRecorder") -> None:
+        self.work += other.work
 
     def per_particle_load(self, tree: Tree) -> np.ndarray:
         """Spread each bucket's work evenly over its particles -> (N,)."""

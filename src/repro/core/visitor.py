@@ -35,6 +35,12 @@ class Visitor:
     batches of those indices to the batched hooks.
     """
 
+    #: Parallel execution (``repro.exec``): True means the thread backend
+    #: may run one shared instance from many workers because every write
+    #: targets per-particle rows of the chunk being traversed — chunks are
+    #: disjoint, so under the GIL no synchronisation is needed.
+    exec_shareable = False
+
     # -- scalar interface (paper-faithful) ---------------------------------
     def open(self, source: SpatialNode, target: SpatialNode) -> bool:
         raise NotImplementedError
@@ -98,3 +104,38 @@ class Visitor:
         tgt = tree.node(target)
         for s in sources:
             self.leaf(tree.node(int(s)), tgt)
+
+    # -- parallel-execution protocol (repro.exec) --------------------------
+    # A visitor opts into worker-side reconstruction by returning a non-None
+    # exec_config().  The contract: for a chunk of target leaves,
+    #   worker = cls.exec_rebuild(tree, exec_arrays(), exec_config())
+    #   <traverse chunk with worker>
+    #   self.exec_apply(tree, chunk, worker.exec_collect(tree, chunk))
+    # must leave ``self`` bit-identical to having traversed the chunk
+    # directly.  Backends call exec_apply in chunk order.
+
+    def exec_config(self) -> dict | None:
+        """Small picklable kwargs for :meth:`exec_rebuild`; None means this
+        visitor does not support worker-side reconstruction (the backend
+        falls back to serial, or to instance sharing for threads)."""
+        return None
+
+    def exec_arrays(self) -> dict[str, np.ndarray]:
+        """Large read-only arrays the backend shares with workers
+        (zero-copy via shared memory for the process backend)."""
+        return {}
+
+    @classmethod
+    def exec_rebuild(cls, tree: Tree, arrays: dict[str, np.ndarray], config: dict) -> "Visitor":
+        """Construct a worker-local visitor over shared ``arrays``."""
+        raise NotImplementedError
+
+    def exec_collect(self, tree: Tree, targets: np.ndarray) -> dict[str, np.ndarray]:
+        """Extract this (worker) visitor's outputs for ``targets`` — the
+        small per-chunk payload shipped back to the parent."""
+        raise NotImplementedError
+
+    def exec_apply(self, tree: Tree, targets: np.ndarray, outputs: dict[str, np.ndarray]) -> None:
+        """Fold a worker's :meth:`exec_collect` payload into this (parent)
+        visitor.  Called once per chunk, in chunk order."""
+        raise NotImplementedError

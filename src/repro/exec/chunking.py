@@ -1,0 +1,55 @@
+"""Deterministic partitioning of target buckets across workers.
+
+The chunking is the load-distribution half of the backend contract: the
+chunks must form an *exact* partition of the target list (every target in
+exactly one chunk) and their order must be a pure function of the inputs —
+never of scheduling — because the reduction that makes parallel runs
+bit-identical to serial walks the chunks in this order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..decomp import Decomposition
+from ..trees import Tree
+
+__all__ = ["chunk_targets"]
+
+
+def chunk_targets(
+    tree: Tree,
+    targets: np.ndarray,
+    decomposition: Decomposition | None = None,
+    n_chunks: int | None = None,
+) -> list[np.ndarray]:
+    """Split ``targets`` (leaf indices) into deterministic disjoint chunks.
+
+    With a :class:`~repro.decomp.Decomposition` the split reuses the
+    Partitions: each target bucket goes to the partition owning its first
+    particle (split buckets belong to several partitions but must be
+    traversed exactly once, so one deterministic owner is chosen), and one
+    chunk per non-empty partition comes back in partition order.  Without a
+    decomposition the targets are sliced into ``n_chunks`` contiguous
+    ranges.
+
+    The union of the returned chunks is always exactly ``targets`` with
+    each element appearing once.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    if targets.size == 0:
+        return []
+    if decomposition is not None and len(decomposition.partitions) > 1:
+        # Owner of a bucket = partition of its first particle; empty
+        # buckets (pstart == pend) fall back to partition 0 via clipping.
+        first = np.clip(tree.pstart[targets], 0, max(tree.n_particles - 1, 0))
+        owner = decomposition.particle_partition[first]
+        counts = tree.pend[targets] - tree.pstart[targets]
+        owner = np.where(counts > 0, owner, 0)
+        chunks = [
+            targets[owner == p]
+            for p in range(len(decomposition.partitions))
+        ]
+        return [c for c in chunks if c.size]
+    n_chunks = max(int(n_chunks or 1), 1)
+    return [c for c in np.array_split(targets, min(n_chunks, targets.size)) if c.size]

@@ -1,0 +1,183 @@
+"""Process pool backend: zero-copy shared arrays, partition-ordered reduce.
+
+The parent packs the tree topology, particle fields, and the visitor's
+shared arrays into one :class:`~repro.exec.shm.ShmArena`
+(``multiprocessing.shared_memory``).  Workers attach read-only views — no
+serialisation of the large SoA data ever happens — rebuild the
+:class:`~repro.trees.Tree` and a worker-local visitor over those views
+(``exec_rebuild``), traverse their chunk, and send back only the small
+per-chunk outputs (``exec_collect``), stats, and fork recorders.
+
+The parent then reduces **in chunk order** (``exec_apply`` + stats merge +
+recorder absorb), never completion order — with disjoint per-chunk target
+rows and serial per-target evaluation order inside each chunk, that makes
+the result bit-identical to a serial run for any worker count.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any
+
+import numpy as np
+
+from ..core.traverser import Recorder, TraversalStats, Traverser, get_traverser
+from ..trees import Tree
+from .backend import ExecutionBackend, register_backend
+from .shm import ShmArena, attach_arena
+
+__all__ = ["ProcessBackend"]
+
+_TREE_FIELDS = (
+    "parent", "first_child", "n_children", "pstart", "pend",
+    "box_lo", "box_hi", "level", "key",
+)
+
+#: worker-side cache of attached arenas/trees, keyed by shm segment name
+_WORKER_TREES: dict[str, tuple[Any, Tree, dict[str, np.ndarray]]] = {}
+_WORKER_CACHE_LIMIT = 2
+
+
+def _attach_tree(handle, meta) -> tuple[Tree, dict[str, np.ndarray]]:
+    """Attach (or reuse) the arena named in ``handle`` and rebuild the tree.
+
+    Rebuilding is zero-copy: every Tree/ParticleSet array is a read-only
+    view straight into the shared segment (``ascontiguousarray`` on a
+    contiguous matching-dtype view is the identity).
+    """
+    name = handle[0]
+    cached = _WORKER_TREES.get(name)
+    if cached is not None:
+        return cached[1], cached[2]
+    while len(_WORKER_TREES) >= _WORKER_CACHE_LIMIT:
+        _, (old_arena, _, _) = _WORKER_TREES.popitem()
+        old_arena.close()
+    arena = attach_arena(handle)
+    from ..particles import ParticleSet
+
+    part_fields = {
+        k[len("part."):]: v for k, v in arena.arrays.items() if k.startswith("part.")
+    }
+    particles = ParticleSet.from_arrays(part_fields)
+    tree = Tree(
+        particles,
+        *[arena.arrays[f"tree.{f}"] for f in _TREE_FIELDS],
+        tree_type=meta["tree_type"],
+        bucket_size=meta["bucket_size"],
+    )
+    vis_arrays = {
+        k[len("vis."):]: v for k, v in arena.arrays.items() if k.startswith("vis.")
+    }
+    _WORKER_TREES[name] = (arena, tree, vis_arrays)
+    return tree, vis_arrays
+
+
+def _worker_run(
+    handle,
+    meta,
+    engine_name: str,
+    visitor_cls: type,
+    config: dict[str, Any],
+    chunk: np.ndarray,
+    fork: Recorder | None,
+):
+    """Module-level worker entry point (must be picklable by reference)."""
+    t0 = time.perf_counter()
+    tree, vis_arrays = _attach_tree(handle, meta)
+    visitor = visitor_cls.exec_rebuild(tree, vis_arrays, config)
+    stats = get_traverser(engine_name)._traverse(tree, visitor, chunk, fork)
+    outputs = visitor.exec_collect(tree, chunk)
+    t1 = time.perf_counter()
+    return stats, outputs, fork, t1 - t0, os.getpid()
+
+
+class ProcessBackend(ExecutionBackend):
+    """Run chunks on a persistent fork-context :class:`ProcessPoolExecutor`."""
+
+    name = "processes"
+
+    def __init__(self, workers: int | None = None, start_method: str | None = None) -> None:
+        super().__init__(workers)
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self.start_method = start_method
+        self._pool: ProcessPoolExecutor | None = None
+
+    def _supports(self, visitor: Any) -> bool:
+        # Processes need the full exec protocol: shared arrays out, config
+        # over the wire, per-chunk outputs back.
+        return getattr(visitor, "exec_config", lambda: None)() is not None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context(self.start_method),
+            )
+        return self._pool
+
+    def _run_chunks(
+        self,
+        engine: Traverser,
+        tree: Tree,
+        visitor: Any,
+        chunks: list[np.ndarray],
+        forks: list[Recorder] | None,
+        shared_cache=None,
+    ) -> TraversalStats:
+        pool = self._ensure_pool()
+        shared: dict[str, np.ndarray] = {}
+        for f in _TREE_FIELDS:
+            shared[f"tree.{f}"] = getattr(tree, f)
+        for f in tree.particles.field_names:
+            shared[f"part.{f}"] = tree.particles[f]
+        for k, v in visitor.exec_arrays().items():
+            shared[f"vis.{k}"] = v
+        meta = {"tree_type": tree.tree_type, "bucket_size": tree.bucket_size}
+        config = visitor.exec_config()
+        arena = ShmArena(shared)
+        try:
+            futures = [
+                pool.submit(
+                    _worker_run, arena.handle, meta, engine.name,
+                    type(visitor), config, c, forks[i] if forks else None,
+                )
+                for i, c in enumerate(chunks)
+            ]
+            results = [f.result() for f in futures]  # chunk order, not completion
+        finally:
+            arena.dispose()
+
+        total = TraversalStats()
+        tasks = []
+        lanes: dict[int, int] = {}
+        now = time.perf_counter()
+        for i, (stats, outputs, fork, duration, pid) in enumerate(results):
+            total.merge(stats)
+            visitor.exec_apply(tree, chunks[i], outputs)
+            if forks is not None and fork is not None:
+                # the fork round-tripped through pickle; swap the filled
+                # copy in so backend.run absorbs it in chunk order
+                forks[i] = fork
+            lane = lanes.setdefault(pid, len(lanes))
+            # workers time on their own clock; anchor each span at the
+            # parent-side collection point so lanes line up in the trace
+            tasks.append({
+                "chunk": i, "targets": len(chunks[i]),
+                "start": now - duration, "end": now, "lane": lane,
+                "worker": f"pid-{pid}",
+            })
+        self._record_tasks(tasks)
+        return total
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+register_backend(ProcessBackend.name, ProcessBackend)

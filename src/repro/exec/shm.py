@@ -1,0 +1,110 @@
+"""Zero-copy array sharing for the process backend.
+
+A :class:`ShmArena` packs a dict of NumPy arrays into one
+``multiprocessing.shared_memory`` block; its :attr:`~ShmArena.handle` is a
+small picklable description (segment name + per-array offset/dtype/shape)
+that worker processes turn back into zero-copy views with
+:func:`attach_arena`.  Workers never copy the particle or tree arrays —
+they map the parent's pages read-only, which is the in-process analogue of
+the paper's shared Subtree memory.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["ShmArena", "AttachedArena", "attach_arena"]
+
+#: byte alignment of each array inside the block (cache-line friendly)
+_ALIGN = 64
+
+#: picklable handle: (segment name, {array name: (offset, dtype str, shape)})
+Handle = tuple[str, dict[str, tuple[int, str, tuple[int, ...]]]]
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+class ShmArena:
+    """Owner side: copy ``arrays`` into one shared segment, once.
+
+    The owner must keep the arena alive while workers use it and call
+    :meth:`dispose` (or use it as a context manager) afterwards — disposal
+    unlinks the segment; workers that still have it mapped keep their views
+    until they drop them (POSIX semantics).
+    """
+
+    def __init__(self, arrays: dict[str, np.ndarray], name_prefix: str = "repro") -> None:
+        specs: dict[str, tuple[int, str, tuple[int, ...]]] = {}
+        offset = 0
+        contiguous = {k: np.ascontiguousarray(v) for k, v in arrays.items()}
+        for name, arr in contiguous.items():
+            offset = _aligned(offset)
+            specs[name] = (offset, arr.dtype.str, arr.shape)
+            offset += arr.nbytes
+        self._shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        for name, arr in contiguous.items():
+            off, _, _ = specs[name]
+            dst = np.ndarray(arr.shape, dtype=arr.dtype, buffer=self._shm.buf, offset=off)
+            dst[...] = arr
+        self.handle: Handle = (self._shm.name, specs)
+        self.nbytes = offset
+
+    def dispose(self) -> None:
+        """Close and unlink the segment (idempotent)."""
+        if self._shm is None:
+            return
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+        self._shm = None
+
+    def __enter__(self) -> "ShmArena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.dispose()
+
+
+class AttachedArena:
+    """Worker side: zero-copy read-only views over an owner's segment."""
+
+    def __init__(self, handle: Handle) -> None:
+        name, specs = handle
+        self.name = name
+        # CPython's resource tracker assumes whoever opens a segment owns
+        # it and unlinks leaked segments at interpreter exit — an attaching
+        # worker must not adopt (and later destroy) the parent's arena
+        # (bpo-39959).  Unregistering after the fact races the owner's own
+        # registration when the tracker process is shared (fork), so
+        # suppress registration entirely for the attach.
+        from multiprocessing import resource_tracker
+
+        orig_register = resource_tracker.register
+        resource_tracker.register = lambda *a, **k: None
+        try:
+            self._shm = shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = orig_register
+        self.arrays: dict[str, np.ndarray] = {}
+        for arr_name, (offset, dtype, shape) in specs.items():
+            view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=self._shm.buf,
+                              offset=offset)
+            view.flags.writeable = False
+            self.arrays[arr_name] = view
+
+    def close(self) -> None:
+        if self._shm is not None:
+            self.arrays = {}
+            self._shm.close()
+            self._shm = None
+
+
+def attach_arena(handle: Handle) -> AttachedArena:
+    """Attach to an owner's segment (worker-process entry point)."""
+    return AttachedArena(handle)

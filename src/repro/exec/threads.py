@@ -1,0 +1,163 @@
+"""Thread pool backend: shared address space, shared software cache.
+
+Worker threads traverse disjoint target-bucket chunks.  Two strategies,
+picked per visitor:
+
+* ``exec_shareable`` visitors are used *as one shared instance* — their
+  chunk writes land on disjoint per-particle rows (each target bucket is in
+  exactly one chunk), so under the GIL no synchronisation is needed and the
+  accumulation order per target equals the serial order;
+* visitors that only implement the exec protocol get one rebuilt instance
+  per chunk, merged afterwards in chunk order via ``exec_apply``.
+
+When a :class:`~repro.cache.concurrent.SharedTreeCache` is passed, every
+worker additionally warms it while traversing — concurrent
+fill/park/complete against one cache tree is exactly the wait-free
+contention the paper's Fig 2 protocol is designed for, and the stress tests
+read the cache's waiter counters afterwards.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any
+
+import numpy as np
+
+from ..core.traverser import Recorder, TraversalStats, Traverser, get_traverser
+from ..trees import Tree
+from .backend import ExecutionBackend, register_backend
+
+__all__ = ["ThreadBackend", "warm_shared_cache"]
+
+
+def warm_shared_cache(cache, limit: int = 32) -> tuple[int, int]:
+    """Issue up to ``limit`` placeholder fills against ``cache``.
+
+    Scans the cache tree for the first reachable placeholder and requests
+    its fill with a parked resume callback, repeatedly.  Returns
+    ``(callbacks_parked_here, callbacks_invoked_here)`` — under fault
+    injection a fill may fail transiently, but a parked waiter is always
+    either resumed by the filler or re-driven by ``fail_fill``, so the two
+    numbers match at quiescence.
+    """
+    invoked = [0]
+
+    def on_resume() -> None:
+        invoked[0] += 1
+
+    issued = 0
+    for _ in range(limit):
+        found = None
+        stack = [cache.root]
+        while stack and found is None:
+            entry = stack.pop()
+            if entry.is_placeholder:
+                continue
+            for slot, child in enumerate(entry.children):
+                if child.is_placeholder:
+                    found = (entry, slot)
+                    break
+            else:
+                stack.extend(entry.children)
+        if found is None:
+            break
+        issued += 1
+        cache.request_fill(found[0], found[1], on_resume=on_resume)
+    return issued, invoked[0]
+
+
+class ThreadBackend(ExecutionBackend):
+    """Run chunks on a persistent :class:`ThreadPoolExecutor`."""
+
+    name = "threads"
+
+    def __init__(self, workers: int | None = None, cache_warm_fills: int = 32) -> None:
+        super().__init__(workers)
+        self.cache_warm_fills = cache_warm_fills
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+        #: (issued, invoked) totals from the last run's cache warming
+        self.last_cache_warm = (0, 0)
+
+    def _supports(self, visitor: Any) -> bool:
+        if getattr(visitor, "exec_shareable", False):
+            return True
+        return getattr(visitor, "exec_config", lambda: None)() is not None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="repro-exec"
+                )
+            return self._pool
+
+    def _run_chunks(
+        self,
+        engine: Traverser,
+        tree: Tree,
+        visitor: Any,
+        chunks: list[np.ndarray],
+        forks: list[Recorder] | None,
+        shared_cache=None,
+    ) -> TraversalStats:
+        pool = self._ensure_pool()
+        shareable = getattr(visitor, "exec_shareable", False)
+        chunk_visitors: list[Any] | None = None
+        if not shareable:
+            arrays = visitor.exec_arrays()
+            config = visitor.exec_config()
+            chunk_visitors = [
+                type(visitor).exec_rebuild(tree, arrays, config) for _ in chunks
+            ]
+
+        def task(i: int, chunk: np.ndarray):
+            t0 = time.perf_counter()
+            warm = (0, 0)
+            if shared_cache is not None:
+                warm = warm_shared_cache(shared_cache, self.cache_warm_fills)
+            vis = visitor if shareable else chunk_visitors[i]
+            # _traverse, not traverse: the Tracer's span stack is not
+            # thread-safe, so workers run bare and the main thread records
+            # completed spans afterwards.
+            stats = get_traverser(engine.name)._traverse(
+                tree, vis, chunk, forks[i] if forks else None
+            )
+            t1 = time.perf_counter()
+            return stats, warm, t0, t1, threading.get_ident()
+
+        futures = [pool.submit(task, i, c) for i, c in enumerate(chunks)]
+        results = [f.result() for f in futures]  # chunk order, not completion
+
+        total = TraversalStats()
+        warm_issued = warm_invoked = 0
+        tasks = []
+        lanes: dict[int, int] = {}
+        for i, (stats, warm, t0, t1, ident) in enumerate(results):
+            total.merge(stats)
+            warm_issued += warm[0]
+            warm_invoked += warm[1]
+            if not shareable:
+                visitor.exec_apply(
+                    tree, chunks[i], chunk_visitors[i].exec_collect(tree, chunks[i])
+                )
+            lane = lanes.setdefault(ident, len(lanes))
+            tasks.append({
+                "chunk": i, "targets": len(chunks[i]),
+                "start": t0, "end": t1, "lane": lane, "worker": f"thread-{lane}",
+            })
+        self.last_cache_warm = (warm_issued, warm_invoked)
+        self._record_tasks(tasks)
+        return total
+
+    def shutdown(self) -> None:
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+
+register_backend(ThreadBackend.name, ThreadBackend)

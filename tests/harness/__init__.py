@@ -1,0 +1,2 @@
+"""Reusable test harnesses (importable by name, so process-backend workers
+can unpickle the visitors defined here)."""

@@ -1,0 +1,241 @@
+"""Differential equivalence tests: serial ≡ threads ≡ processes.
+
+Every (engine × backend × worker-count) combination must produce
+bit-identical outputs and equal interaction counts — see
+``tests/harness/differential.py`` for the harness and the rationale for
+excluding ``nodes_visited``.  The fast tests cover gravity, kNN, and SPH
+across three worker counts; the ``slow``-marked matrix widens to every
+engine, dataset, and tree type; hypothesis drives random trees and
+visitors through the same assertions.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.apps.gravity import GravityVisitor, compute_centroid_arrays
+from repro.apps.knn.knn import KNNVisitor, brute_force_knn, knn_search
+from repro.apps.sph.density import compute_density_knn
+from repro.decomp import SfcDecomposer, decompose
+from repro.exec import get_backend
+from repro.particles.generators import clustered_clumps, uniform_cube
+from repro.trees import build_tree
+
+from tests.harness.differential import (
+    WORKER_COUNTS,
+    CountInRadiusVisitor,
+    assert_equivalent,
+    brute_force_radius_counts,
+    differential_matrix,
+    run_combination,
+)
+
+HYPOTHESIS_COMMON = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@pytest.fixture(scope="module")
+def small_tree():
+    return build_tree(uniform_cube(500, seed=11), tree_type="oct", bucket_size=12)
+
+
+@pytest.fixture(scope="module")
+def clustered_tree():
+    return build_tree(clustered_clumps(800, seed=5), tree_type="kd", bucket_size=10)
+
+
+def gravity_setup(tree, with_potential=False, with_quadrupole=False):
+    arrays = compute_centroid_arrays(
+        tree, theta=0.6, with_quadrupole=with_quadrupole
+    )
+
+    def make(t):
+        return GravityVisitor(t, arrays, G=1.0, softening=1e-3,
+                              with_potential=with_potential)
+
+    def collect(v):
+        out = {"accel": v.accel}
+        if v.potential is not None:
+            out["potential"] = v.potential
+        return out
+
+    return make, collect
+
+
+def knn_setup(k):
+    def make(t):
+        return KNNVisitor(t, k)
+
+    def collect(v):
+        # raw (unsorted) neighbour state: the strictest comparison
+        return {"dist_sq": v.dist_sq, "index": v.index, "kth_sq": v.kth_sq}
+
+    return make, collect
+
+
+class TestGravityDifferential:
+    def test_matrix_three_worker_counts(self, small_tree):
+        make, collect = gravity_setup(small_tree)
+        differential_matrix(small_tree, "transposed", make, collect,
+                            workers=WORKER_COUNTS, expect_parallel=True)
+
+    def test_matrix_with_recorder_and_potential(self, small_tree):
+        make, collect = gravity_setup(small_tree, with_potential=True)
+        differential_matrix(small_tree, "transposed", make, collect,
+                            workers=(2, 4), record=True, expect_parallel=True)
+
+    def test_matrix_with_decomposition_chunking(self, small_tree):
+        """Partition-steered chunks (the decomp.partitions reuse path)."""
+        pp = SfcDecomposer().assign(small_tree.particles, 4)
+        decomp = decompose(small_tree, pp, n_subtrees=4)
+        make, collect = gravity_setup(small_tree)
+        differential_matrix(small_tree, "transposed", make, collect,
+                            workers=(2, 4), decomposition=decomp,
+                            expect_parallel=True)
+
+
+class TestKNNDifferential:
+    def test_matrix_three_worker_counts(self, small_tree):
+        make, collect = knn_setup(k=6)
+        base = differential_matrix(small_tree, "up-and-down", make, collect,
+                                   workers=WORKER_COUNTS, expect_parallel=True)
+        # and the serial oracle itself is right
+        dist, _ = brute_force_knn(small_tree.particles.position, 6)
+        order = np.argsort(base.outputs["dist_sq"], axis=1)
+        rows = np.arange(small_tree.n_particles)[:, None]
+        np.testing.assert_allclose(
+            base.outputs["dist_sq"][rows, order], dist, rtol=0, atol=0
+        )
+
+    def test_public_api_backend_kwarg(self, small_tree):
+        serial = knn_search(small_tree, 5)
+        for backend in ("threads", "processes"):
+            for w in (2, 4):
+                with get_backend(backend, workers=w) as b:
+                    res = knn_search(small_tree, 5, backend=b)
+                assert np.array_equal(res.dist_sq, serial.dist_sq)
+                assert np.array_equal(res.index, serial.index)
+
+
+class TestSPHDifferential:
+    def test_density_bit_identical(self, small_tree):
+        serial = compute_density_knn(small_tree, k=16)
+        for backend in ("threads", "processes"):
+            for w in WORKER_COUNTS:
+                with get_backend(backend, workers=w) as b:
+                    par = compute_density_knn(small_tree, k=16, backend=b)
+                label = f"{backend}/w{w}"
+                assert np.array_equal(par.h, serial.h), label
+                assert np.array_equal(par.density, serial.density), label
+                assert np.array_equal(
+                    par.neighbors.index, serial.neighbors.index
+                ), label
+
+
+class TestCountVisitorOracle:
+    def test_matches_brute_force(self, small_tree):
+        base = run_combination(
+            small_tree, "transposed",
+            lambda t: CountInRadiusVisitor(t, 0.15),
+            lambda v: {"counts": v.counts},
+        )
+        oracle = brute_force_radius_counts(small_tree.particles.position, 0.15)
+        assert np.array_equal(base.outputs["counts"], oracle)
+
+
+@pytest.mark.slow
+class TestFullMatrix:
+    """The wide matrix: every engine × backend × worker count × dataset."""
+
+    ENGINES = ("transposed", "per-bucket")
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_gravity_engines(self, engine, small_tree, clustered_tree):
+        for tree in (small_tree, clustered_tree):
+            make, collect = gravity_setup(tree, with_potential=True)
+            differential_matrix(tree, engine, make, collect,
+                                workers=(1, 2, 3, 4), record=True,
+                                expect_parallel=True)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_count_visitor_engines(self, engine, clustered_tree):
+        make = lambda t: CountInRadiusVisitor(t, 0.4)  # noqa: E731
+        collect = lambda v: {"counts": v.counts}  # noqa: E731
+        base = differential_matrix(clustered_tree, engine, make, collect,
+                                   workers=(1, 2, 3, 4), record=True,
+                                   expect_parallel=True)
+        oracle = brute_force_radius_counts(clustered_tree.particles.position, 0.4)
+        assert np.array_equal(base.outputs["counts"], oracle)
+
+    def test_knn_wide(self, clustered_tree):
+        make, collect = knn_setup(k=8)
+        differential_matrix(clustered_tree, "up-and-down", make, collect,
+                            workers=(1, 2, 3, 4, 7), expect_parallel=True)
+
+    def test_gravity_quadrupole(self, small_tree):
+        make, collect = gravity_setup(small_tree, with_quadrupole=True)
+        differential_matrix(small_tree, "transposed", make, collect,
+                            workers=(2, 3, 4), expect_parallel=True)
+
+
+class TestHypothesisDifferential:
+    """Random trees and visitors through the same equivalence assertions."""
+
+    @given(
+        n=st.integers(30, 150),
+        seed=st.integers(0, 2**31 - 1),
+        radius=st.floats(0.05, 0.6),
+        bucket=st.integers(4, 24),
+        tree_type=st.sampled_from(["oct", "kd"]),
+        workers=st.sampled_from([2, 3]),
+    )
+    @settings(max_examples=15, **HYPOTHESIS_COMMON)
+    def test_threads_equals_serial_and_brute_force(
+        self, n, seed, radius, bucket, tree_type, workers
+    ):
+        tree = build_tree(uniform_cube(n, seed=seed), tree_type=tree_type,
+                          bucket_size=bucket)
+        make = lambda t: CountInRadiusVisitor(t, radius)  # noqa: E731
+        collect = lambda v: {"counts": v.counts}  # noqa: E731
+        base = run_combination(tree, "transposed", make, collect)
+        other = run_combination(tree, "transposed", make, collect,
+                                backend="threads", workers=workers)
+        assert_equivalent(base, other)
+        oracle = brute_force_radius_counts(tree.particles.position, radius)
+        assert np.array_equal(base.outputs["counts"], oracle)
+
+    @given(
+        n=st.integers(40, 120),
+        seed=st.integers(0, 2**31 - 1),
+        k=st.integers(1, 10),
+        workers=st.sampled_from([2, 4]),
+    )
+    @settings(max_examples=10, **HYPOTHESIS_COMMON)
+    def test_knn_threads_equals_serial(self, n, seed, k, workers):
+        tree = build_tree(clustered_clumps(n, seed=seed), tree_type="kd",
+                          bucket_size=8)
+        make, collect = knn_setup(k=min(k, tree.n_particles - 1))
+        base = run_combination(tree, "up-and-down", make, collect)
+        other = run_combination(tree, "up-and-down", make, collect,
+                                backend="threads", workers=workers)
+        assert_equivalent(base, other)
+
+    @pytest.mark.slow
+    @given(
+        n=st.integers(50, 200),
+        seed=st.integers(0, 2**31 - 1),
+        radius=st.floats(0.1, 0.5),
+    )
+    @settings(max_examples=5, **HYPOTHESIS_COMMON)
+    def test_processes_equals_serial(self, n, seed, radius):
+        tree = build_tree(uniform_cube(n, seed=seed), tree_type="oct",
+                          bucket_size=8)
+        make = lambda t: CountInRadiusVisitor(t, radius)  # noqa: E731
+        collect = lambda v: {"counts": v.counts}  # noqa: E731
+        base = run_combination(tree, "transposed", make, collect)
+        other = run_combination(tree, "transposed", make, collect,
+                                backend="processes", workers=3)
+        assert_equivalent(base, other)
