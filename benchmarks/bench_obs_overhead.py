@@ -1,0 +1,88 @@
+"""Flight-recorder and histogram-merge overhead (obs v2 acceptance).
+
+Two bars: the gravity pipeline with the flight recorder disabled must be
+statistically indistinguishable from the seed path (the disabled cost is
+one attribute load and an empty call per site), and with it enabled the
+run must stay within a few percent — the ring buffer is a bounded deque
+append.  ``obs.hist_merge`` pins the reduction cost of the fork/absorb
+protocol: merging is integer bucket addition, independent of how many
+samples the workers recorded.
+
+Compare against a baseline with ``repro bench compare``; the obs-smoke
+CI job runs the quick variants.
+"""
+
+import numpy as np
+
+from repro.apps.gravity import GravityDriver
+from repro.core import Configuration
+from repro.obs import NULL_FLIGHT, Log2Histogram, Telemetry, use_telemetry
+from repro.particles import clustered_clumps
+from repro.perf import benchmark as perf_benchmark
+
+
+def _run_gravity(n: int, flight):
+    p = clustered_clumps(n, seed=9)
+
+    class Main(GravityDriver):
+        def create_particles(self, config):
+            return p
+
+    d = Main(Configuration(num_iterations=2), theta=0.7)
+    telemetry = Telemetry(flight=flight)
+    with use_telemetry(telemetry):
+        d.enable_telemetry(telemetry)
+        d.run()
+    return d, telemetry
+
+
+@perf_benchmark("obs.flight_gravity_off", group="obs",
+                description="telemetry-enabled gravity pipeline with the "
+                            "flight recorder nulled out (baseline)")
+def bench_flight_off(quick=False):
+    n = 2_000 if quick else 8_000
+
+    def run():
+        d, _ = _run_gravity(n, NULL_FLIGHT)
+        return {"iterations": len(d.reports)}
+
+    return run
+
+
+@perf_benchmark("obs.flight_gravity_on", group="obs",
+                description="same telemetry-enabled pipeline with the "
+                            "flight recorder recording")
+def bench_flight_on(quick=False):
+    n = 2_000 if quick else 8_000
+
+    def run():
+        from repro.obs import FlightRecorder
+
+        d, telemetry = _run_gravity(n, FlightRecorder())
+        return {"iterations": len(d.reports),
+                "flight_events": telemetry.flight.recorded}
+
+    return run
+
+
+@perf_benchmark("obs.hist_merge", group="obs",
+                description="reduce forked worker latency histograms "
+                            "(integer bucket addition, sample-count free)")
+def bench_hist_merge(quick=False):
+    n_workers = 64 if quick else 256
+    n_obs = 2_000 if quick else 10_000
+    rng = np.random.default_rng(42)
+    root = Log2Histogram()
+    forks = []
+    for _ in range(n_workers):
+        f = root.fork()
+        f.observe_many(rng.lognormal(mean=-8.0, sigma=2.0, size=n_obs))
+        forks.append(f)
+
+    def run():
+        merged = Log2Histogram()
+        for f in forks:
+            merged.merge(f)
+        return {"count": merged.count, "p99": merged.quantile(0.99)}
+
+    return run

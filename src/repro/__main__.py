@@ -12,6 +12,9 @@ Examples::
     python -m repro bench list
     python -m repro bench run --quick
     python -m repro bench compare BENCH_baseline.json BENCH_new.json
+    python -m repro gravity --iterations 4 --slo 'lat<5s,target=0.95' --flight flight.json
+    python -m repro obs dump flight.json --last 20
+    python -m repro top gravity --backend threads
 """
 
 from __future__ import annotations
@@ -37,6 +40,48 @@ def _add_telemetry(p: argparse.ArgumentParser) -> None:
                    help="write the metrics registry (.json, or .csv)")
     p.add_argument("--report", action="store_true",
                    help="print a telemetry summary after the run")
+    p.add_argument("--flight", metavar="PATH", default=None,
+                   help="arm the flight recorder: the event ring is dumped to "
+                        "PATH on crash and at end of run "
+                        "(inspect with `repro obs dump PATH`)")
+    p.add_argument("--status-file", metavar="PATH", default=None,
+                   help="append one JSON status snapshot per iteration "
+                        "(watch live with `repro top PATH --follow`)")
+
+
+def _add_slo(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--slo", metavar="SPEC", default=None,
+                   help="latency objective over the run, e.g. "
+                        "'lat<5ms,target=0.99,burn=1.5,window=0.25'; "
+                        "a burn-rate violation exits 1 (bench-compare style)")
+    p.add_argument("--slo-report", metavar="PATH", default=None,
+                   help="write the SLO evaluation as JSON (repro.slo/1)")
+
+
+def _evaluate_slo_from_args(args, samples) -> int:
+    """Evaluate ``--slo`` over latency ``samples``; returns the exit code."""
+    from .obs import evaluate_slo, parse_slo_spec
+
+    try:
+        spec = parse_slo_spec(args.slo)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = evaluate_slo(spec, samples)
+    print(report.summary())
+    if args.slo_report:
+        try:
+            report.write(args.slo_report)
+            print(f"wrote SLO report to {args.slo_report}")
+        except OSError as exc:
+            print(f"error: could not write SLO report: {exc}", file=sys.stderr)
+            return 2
+    return 1 if report.violated else 0
+
+
+def _enable_status_from_args(driver, args) -> None:
+    if getattr(args, "status_file", None):
+        driver.enable_status(args.status_file)
 
 
 def _add_faults(p: argparse.ArgumentParser) -> None:
@@ -165,12 +210,15 @@ def _chaos_probe(tree, plan, n_processes: int = 4) -> None:
 
 def _telemetry_from_args(args):
     """Install a live telemetry session when any telemetry flag was given."""
-    if not (args.trace or args.metrics or args.report):
+    if not (args.trace or args.metrics or args.report
+            or getattr(args, "flight", None)):
         return None
     from .obs import Telemetry, set_telemetry
 
     telemetry = Telemetry()
     set_telemetry(telemetry)
+    if getattr(args, "flight", None):
+        telemetry.flight.arm(args.flight)
     return telemetry
 
 
@@ -191,6 +239,10 @@ def _finish_telemetry(telemetry, args) -> None:
             else:
                 n = write_metrics_json(telemetry, args.metrics)
             print(f"wrote {n} metrics to {args.metrics}")
+        if getattr(args, "flight", None):
+            telemetry.flight.dump(args.flight, reason="end-of-run")
+            print(f"wrote flight recording ({len(telemetry.flight)} events, "
+                  f"{telemetry.flight.dropped} dropped) to {args.flight}")
     except OSError as exc:
         print(f"error: could not write telemetry output: {exc}", file=sys.stderr)
     if args.report:
@@ -208,6 +260,7 @@ def cmd_gravity(args) -> int:
         telemetry is not None or fault_plan is not None or args.critical_path
         or args.checkpoint_every or args.save_state or args.dt > 0
         or args.iterations > 1 or args.backend != "serial"
+        or args.slo or args.status_file
     )
     if wants_driver:
         # Run the full Driver pipeline so the trace shows all seven
@@ -230,6 +283,7 @@ def cmd_gravity(args) -> int:
         driver = Main(cfg, theta=args.theta, softening=args.softening,
                       dt=args.dt, with_quadrupole=args.quadrupole)
         _enable_parallel_from_args(driver, args)
+        _enable_status_from_args(driver, args)
         if telemetry is not None:
             driver.enable_telemetry(telemetry)
         if fault_plan is not None:
@@ -269,8 +323,13 @@ def cmd_gravity(args) -> int:
                   f"{acceleration_error(driver.accelerations, exact)}")
         if args.save_state:
             _save_state(driver, args.save_state)
+        rc = 0
+        if args.slo:
+            from .obs import samples_from_reports
+
+            rc = _evaluate_slo_from_args(args, samples_from_reports(driver.reports))
         _finish_telemetry(telemetry, args)
-        return 0
+        return rc
     t0 = time.time()
     res = compute_gravity(
         p, theta=args.theta, softening=args.softening,
@@ -306,6 +365,7 @@ def cmd_sph(args) -> int:
 
         driver = Main(cfg, k_neighbors=args.k, dt=args.dt)
         _enable_parallel_from_args(driver, args)
+        _enable_status_from_args(driver, args)
         if telemetry is not None:
             driver.enable_telemetry(telemetry)
         if fault_plan is not None:
@@ -359,6 +419,7 @@ def cmd_knn(args) -> int:
 
         driver = Main(cfg, k=args.k)
         _enable_parallel_from_args(driver, args)
+        _enable_status_from_args(driver, args)
         if telemetry is not None:
             driver.enable_telemetry(telemetry)
         if fault_plan is not None:
@@ -404,6 +465,7 @@ def cmd_disk(args) -> int:
                         decomp_type="longest", num_partitions=16, num_subtrees=16)
     d = Main(cfg, dt=args.dt)
     _enable_parallel_from_args(d, args)
+    _enable_status_from_args(d, args)
     telemetry = _telemetry_from_args(args)
     if telemetry is not None:
         d.enable_telemetry(telemetry)
@@ -459,6 +521,7 @@ def cmd_correlation(args) -> int:
         driver = Main(Configuration(num_iterations=1),
                       rmin=args.rmin, rmax=args.rmax, bins=args.bins)
         _enable_parallel_from_args(driver, args)
+        _enable_status_from_args(driver, args)
         if telemetry is not None:
             driver.enable_telemetry(telemetry)
         if args.checkpoint_every:
@@ -501,6 +564,7 @@ def cmd_resume(args) -> int:
     if args.iterations is not None:
         driver.config.num_iterations = args.iterations
     _enable_parallel_from_args(driver, args)
+    _enable_status_from_args(driver, args)
     telemetry = _telemetry_from_args(args)
     if telemetry is not None:
         driver.enable_telemetry(telemetry)
@@ -569,6 +633,7 @@ def cmd_scale(args) -> int:
           + (f", faults='{fault_plan.describe()}'" if fault_plan else ""))
     from .faults import IterationFailure
 
+    slo_samples: list = []
     for cores in args.cores:
         try:
             r = simulate_traversal(gw.workload, machine=machine,
@@ -576,7 +641,8 @@ def cmd_scale(args) -> int:
                                    workers_per_process=workers, cache_model=model,
                                    faults=fault_plan,
                                    critical_path=args.critical_path,
-                                   collect_trace=args.critical_path)
+                                   collect_trace=args.critical_path
+                                   or bool(args.slo))
         except IterationFailure as exc:
             print(f"  {cores:>7} cores: FAILED ({exc}) counters={exc.counters.to_dict()}")
             continue
@@ -588,8 +654,17 @@ def cmd_scale(args) -> int:
         if r.critical_path is not None:
             for line in r.critical_path.format().splitlines():
                 print(f"    {line}")
+        if args.slo:
+            from .obs import samples_from_sim
+
+            slo_samples.extend(samples_from_sim(r))
+    rc = 0
+    if args.slo:
+        # One objective over the whole sweep: every simulated task interval
+        # from every core count counts as a latency sample.
+        rc = _evaluate_slo_from_args(args, slo_samples)
     _finish_telemetry(telemetry, args)
-    return 0
+    return rc
 
 
 def cmd_bench(args) -> int:
@@ -652,6 +727,135 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_obs(args) -> int:
+    from .obs import (
+        format_flight_dump,
+        load_flight_dump,
+        validate_chrome_trace,
+        validate_flight_dump,
+        validate_slo_report,
+    )
+    from .obs.validate import load_json
+
+    if args.obs_cmd == "dump":
+        try:
+            doc = load_flight_dump(args.path)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(format_flight_dump(doc, last=args.last))
+        problems = validate_flight_dump(doc)
+        if problems:
+            for prob in problems:
+                print(f"problem: {prob}", file=sys.stderr)
+            return 1
+        return 0
+
+    try:
+        doc = load_json(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.obs_cmd == "validate-trace":
+        problems = validate_chrome_trace(
+            doc, require_exec_tasks=args.require_exec_tasks)
+        kind = f"trace ({len(doc.get('traceEvents', []))} events)"
+    else:  # validate-slo
+        problems = validate_slo_report(doc)
+        kind = "SLO report"
+    if problems:
+        print(f"{len(problems)} problem(s) in {args.path}:")
+        for prob in problems:
+            print(f"  {prob}")
+        return 1
+    print(f"{kind} ok: {args.path}")
+    return 0
+
+
+def _top_pipeline_driver(name: str, n: int, iterations: int, seed: int):
+    """A small live pipeline for ``repro top <pipeline>``."""
+    from .core import Configuration
+
+    cfg = Configuration(num_iterations=iterations)
+    if name == "gravity":
+        from .apps.gravity import GravityDriver
+        from .particles import clustered_clumps
+
+        p = clustered_clumps(n, seed=seed)
+
+        class Main(GravityDriver):
+            def create_particles(self, config):
+                return p
+
+        return Main(cfg, theta=0.7)
+    if name == "sph":
+        from .apps.sph import SPHDriver
+        from .particles import uniform_cube
+
+        p = uniform_cube(n, seed=seed)
+
+        class Main(SPHDriver):
+            def create_particles(self, config):
+                return p
+
+        return Main(cfg, k_neighbors=32)
+    from .apps.knn import KNNDriver
+    from .particles import clustered_clumps
+
+    p = clustered_clumps(n, seed=seed)
+
+    class Main(KNNDriver):
+        def create_particles(self, config):
+            return p
+
+    return Main(cfg, k=8)
+
+
+def cmd_top(args) -> int:
+    from .obs import Dashboard, follow_status_file, read_status_file
+
+    dash = Dashboard()
+    if args.source in ("gravity", "sph", "knn"):
+        from .obs import Telemetry, set_telemetry
+
+        driver = _top_pipeline_driver(args.source, args.n, args.iterations,
+                                      args.seed)
+        telemetry = Telemetry()
+        set_telemetry(telemetry)
+        driver.enable_telemetry(telemetry)
+        _enable_parallel_from_args(driver, args)
+        driver.enable_dashboard(dash)
+        try:
+            driver.run()
+        finally:
+            driver.disable_parallel()
+            set_telemetry(None)
+        return 0
+
+    # Source is a --status-file path written by another (possibly still
+    # running) process.
+    if args.follow:
+        try:
+            for snap in follow_status_file(args.source, poll=args.poll):
+                dash.update(snap)
+        except KeyboardInterrupt:
+            pass
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return 0
+    try:
+        snaps = read_status_file(args.source)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not snaps:
+        print(f"error: no status snapshots in {args.source}", file=sys.stderr)
+        return 2
+    dash.update(snaps[-1])
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -669,6 +873,7 @@ def main(argv=None) -> int:
     g.add_argument("--dt", type=float, default=0.0,
                    help="leapfrog timestep (0 = forces only, no integration)")
     _add_telemetry(g)
+    _add_slo(g)
     _add_faults(g)
     _add_critical_path(g)
     _add_checkpoint(g)
@@ -753,6 +958,7 @@ def main(argv=None) -> int:
     sc.add_argument("--workers", type=int, default=0, help="workers per process (0 = full node)")
     sc.add_argument("--cores", type=int, nargs="+", default=[24, 96, 384, 1536])
     _add_telemetry(sc)
+    _add_slo(sc)
     _add_faults(sc)
     _add_critical_path(sc)
     sc.set_defaults(fn=cmd_scale)
@@ -793,6 +999,43 @@ def main(argv=None) -> int:
     bp = bsub.add_parser("report", help="render one BENCH file as a console table")
     bp.add_argument("path")
     bp.set_defaults(fn=cmd_bench)
+
+    o = sub.add_parser("obs", help="observability utilities "
+                                   "(flight dumps, trace/SLO validation)")
+    osub = o.add_subparsers(dest="obs_cmd", required=True)
+    od = osub.add_parser("dump", help="pretty-print a flight-recorder dump")
+    od.add_argument("path", help="a dump written by --flight or on crash")
+    od.add_argument("--last", type=int, default=None, metavar="N",
+                    help="show only the last N events")
+    od.set_defaults(fn=cmd_obs)
+    ot = osub.add_parser("validate-trace",
+                         help="structural checks on a Chrome trace JSON")
+    ot.add_argument("path")
+    ot.add_argument("--require-exec-tasks", action="store_true",
+                    help="also require exec.task spans, each nested inside "
+                         "its owning phase span")
+    ot.set_defaults(fn=cmd_obs)
+    ov = osub.add_parser("validate-slo",
+                         help="schema checks on an SLO report JSON")
+    ov.add_argument("path")
+    ov.set_defaults(fn=cmd_obs)
+
+    t = sub.add_parser("top", help="live terminal dashboard")
+    t.add_argument("source",
+                   help="pipeline to run live (gravity|sph|knn), or the path "
+                        "of a --status-file written by another run")
+    t.add_argument("--n", type=int, default=8_000)
+    t.add_argument("--seed", type=int, default=1)
+    t.add_argument("--iterations", type=int, default=4)
+    t.add_argument("--once", action="store_true",
+                   help="render the latest snapshot and exit "
+                        "(status-file sources; this is the default)")
+    t.add_argument("--follow", action="store_true",
+                   help="poll the status file and repaint on new snapshots")
+    t.add_argument("--poll", type=float, default=0.5, metavar="SECS",
+                   help="poll interval for --follow (default 0.5)")
+    _add_parallel(t)
+    t.set_defaults(fn=cmd_top)
 
     args = parser.parse_args(argv)
     return args.fn(args)

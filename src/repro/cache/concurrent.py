@@ -34,6 +34,7 @@ from typing import Any, Callable
 
 import numpy as np
 
+from ..obs import get_telemetry
 from ..trees import Tree
 
 __all__ = ["CacheEntry", "SharedTreeCache"]
@@ -229,6 +230,7 @@ class SharedTreeCache:
         this in-process model — in the DES the latency/bandwidth costs are
         simulated instead.
         """
+        flight = get_telemetry().flight
         placeholder = parent.children[child_slot]
         if not placeholder.is_placeholder:
             if on_resume:
@@ -243,6 +245,8 @@ class SharedTreeCache:
         if on_resume:
             with self._stats_lock:
                 self.waiters_parked += 1
+            flight.record("cache.park", node=placeholder.node_index,
+                          process=self.process)
         if not placeholder.try_claim_request():
             return False
         with self._stats_lock:
@@ -257,6 +261,8 @@ class SharedTreeCache:
             failed_waiters = placeholder.fail_fill()
             with self._stats_lock:
                 self.waiters_resumed += len(failed_waiters)
+            flight.record("cache.fill_failed", node=placeholder.node_index,
+                          process=self.process, re_driven=len(failed_waiters))
             for w in failed_waiters:
                 w()
             return False
@@ -278,6 +284,8 @@ class SharedTreeCache:
         waiters = placeholder.complete_fill()
         with self._stats_lock:
             self.waiters_resumed += len(waiters)
+        flight.record("cache.fill", node=placeholder.node_index,
+                      process=self.process, resumed=len(waiters))
         for w in waiters:
             w()
         return True

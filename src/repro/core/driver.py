@@ -19,6 +19,7 @@ pipeline the paper describes:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -72,6 +73,7 @@ class Partitions:
                 decomposition=driver.decomposition,
                 shared_cache=driver._iteration_cache(),
             )
+            driver._absorb_backend_run(backend)
         else:
             stats = engine.traverse(driver.tree, visitor, self._targets(), recorder)
         driver.last_stats.merge(stats)
@@ -153,6 +155,16 @@ class IterationReport:
     #: sim this is ``SimResult.to_dict()``, on retry exhaustion it is the
     #: structured ``IterationFailure.to_dict()`` with ``"failed": True``.
     comm_sim: dict[str, Any] | None = None
+    #: real seconds this iteration took (the SLO layer's per-iteration
+    #: latency sample)
+    wall_time: float | None = None
+    #: process-backend worker tree cache outcome for this iteration
+    #: (attach_hits / attach_misses / hit_rate), when a process backend ran
+    exec_cache: dict[str, Any] | None = None
+    #: merged worker-side exec.task latency distribution for this
+    #: iteration (a :meth:`Log2Histogram.to_dict`), when a parallel
+    #: backend ran with telemetry on
+    latency: dict[str, Any] | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-serializable view (numpy arrays/scalars converted), so
@@ -167,6 +179,9 @@ class IterationReport:
             "rebalanced": bool(self.rebalanced),
             "user": _jsonable(self.user),
             "comm_sim": _jsonable(self.comm_sim),
+            "wall_time": None if self.wall_time is None else float(self.wall_time),
+            "exec_cache": _jsonable(self.exec_cache),
+            "latency": _jsonable(self.latency),
         }
 
 
@@ -200,6 +215,12 @@ class Driver:
         #: resume so the reactive flush check sees the same value the
         #: uninterrupted run would
         self._resumed_imbalance: float | None = None
+        #: live status consumers (Dashboard / StatusWriter), fed one
+        #: snapshot per completed iteration
+        self._status_consumers: list[Any] = []
+        #: per-iteration accumulators filled by _absorb_backend_run
+        self._iter_latency = None
+        self._iter_cache: dict[str, int] | None = None
 
     # -- user hooks ---------------------------------------------------------
     def configure(self, config: Configuration) -> None:
@@ -324,6 +345,41 @@ class Driver:
             self._shared_cache_tree = self.tree
         return self._shared_cache
 
+    def enable_dashboard(self, dashboard=None):
+        """Attach a live :class:`~repro.obs.Dashboard` (``repro top``),
+        repainted with a status snapshot after every iteration.  Returns
+        the dashboard."""
+        if dashboard is None:
+            from ..obs import Dashboard
+
+            dashboard = Dashboard()
+        self._status_consumers.append(dashboard)
+        return dashboard
+
+    def enable_status(self, path):
+        """Append one JSON status snapshot per iteration to ``path`` so a
+        separate ``repro top <path> --follow`` can watch this run.  Returns
+        the :class:`~repro.obs.StatusWriter`."""
+        from ..obs import StatusWriter
+
+        writer = StatusWriter(path)
+        self._status_consumers.append(writer)
+        return writer
+
+    def _absorb_backend_run(self, backend) -> None:
+        """Accumulate one backend.run's latency fork and cache stats into
+        the current iteration (an iteration may launch several traversals)."""
+        if backend.last_latency is not None:
+            if self._iter_latency is None:
+                self._iter_latency = backend.last_latency.fork()
+            self._iter_latency.merge(backend.last_latency)
+        cache = backend.last_cache_stats
+        if cache is not None:
+            if self._iter_cache is None:
+                self._iter_cache = {"attach_hits": 0, "attach_misses": 0}
+            self._iter_cache["attach_hits"] += cache["attach_hits"]
+            self._iter_cache["attach_misses"] += cache["attach_misses"]
+
     def enable_critical_path(self, enabled: bool = True) -> None:
         """Attribute each iteration's simulated communication schedule.
 
@@ -384,10 +440,16 @@ class Driver:
                 self.particles = load_particles(cfg.input_file)
             else:
                 self.particles = self.create_particles(cfg)
-        for it in range(start, cfg.num_iterations):
-            self.run_iteration(it)
-            if self._ckpt_writer is not None:
-                self._ckpt_writer.maybe_write(self, it)
+        try:
+            for it in range(start, cfg.num_iterations):
+                self.run_iteration(it)
+                if self._ckpt_writer is not None:
+                    self._ckpt_writer.maybe_write(self, it)
+        except BaseException as exc:
+            # black-box record of the final moments (no-op unless the
+            # flight recorder was armed with a dump path)
+            self.telemetry.flight.maybe_crash_dump(exc)
+            raise
         return self.reports
 
     def run_iteration(self, iteration: int) -> IterationReport:
@@ -396,6 +458,10 @@ class Driver:
         assert self.particles is not None
         tel = self.telemetry
         tracer = tel.tracer
+        self._iter_latency = None
+        self._iter_cache = None
+        events_before = len(tracer.events)
+        t_iter = time.perf_counter()
 
         with tracer.span("iteration", cat="driver", iteration=iteration):
             # 1. Partition splitters + particle marking.  A flush (paper
@@ -496,6 +562,15 @@ class Driver:
                 with tracer.span("comm_sim", cat="driver.phase"):
                     comm_sim = self._simulate_comm(iteration)
 
+            cache = None
+            if self._iter_cache is not None:
+                hits = self._iter_cache["attach_hits"]
+                misses = self._iter_cache["attach_misses"]
+                total = hits + misses
+                cache = {
+                    "attach_hits": hits, "attach_misses": misses,
+                    "hit_rate": hits / total if total else 0.0,
+                }
             report = IterationReport(
                 iteration=iteration,
                 stats=self.last_stats,
@@ -505,13 +580,63 @@ class Driver:
                 n_shared_particles=self.decomposition.n_shared_particles,
                 rebalanced=rebalanced,
                 comm_sim=comm_sim,
+                wall_time=time.perf_counter() - t_iter,
+                exec_cache=cache,
+                latency=(self._iter_latency.to_dict()
+                         if self._iter_latency is not None
+                         and self._iter_latency.count else None),
             )
             self.reports.append(report)
             if tel.enabled:
                 tel.metrics.absorb_iteration_report(report)
+                tel.metrics.latency("driver.iteration.latency").observe(report.wall_time)
                 self._collect_cache_metrics(iteration)
             self._telemetry_lists = None
+        if self._status_consumers:
+            snap = self._status_snapshot(report, events_before)
+            for consumer in self._status_consumers:
+                consumer.update(snap)
         return report
+
+    def _status_snapshot(self, report: IterationReport,
+                         events_before: int) -> dict[str, Any]:
+        """One ``repro.status/1`` snapshot for the dashboard/status feed."""
+        tel = self.telemetry
+        phases: dict[str, float] = {}
+        if tel.enabled:
+            for ev in tel.tracer.events[events_before:]:
+                if ev.get("cat") == "driver.phase":
+                    phases[ev["name"]] = phases.get(ev["name"], 0.0) + ev["dur"] / 1e6
+        backend = self._exec_backend
+        lanes: list[dict[str, Any]] = []
+        if backend is not None and backend.last_tasks:
+            by_lane: dict[int, dict[str, Any]] = {}
+            for t in backend.last_tasks:
+                slot = by_lane.setdefault(
+                    int(t.get("lane", 0)), {"busy": 0.0, "tasks": 0}
+                )
+                slot["busy"] += t["end"] - t["start"]
+                slot["tasks"] += 1
+            lanes = [
+                {"lane": lane, **slot} for lane, slot in sorted(by_lane.items())
+            ]
+        n = len(self.particles) if self.particles is not None else 0
+        wall = report.wall_time or 0.0
+        latency = report.latency or {}
+        return {
+            "pipeline": type(self).__name__,
+            "iteration": report.iteration,
+            "n_particles": n,
+            "backend": backend.name if backend is not None else "serial",
+            "workers": backend.workers if backend is not None else 1,
+            "wall_time": report.wall_time,
+            "throughput": n / wall if wall else None,
+            "imbalance": report.imbalance,
+            "phases": phases,
+            "worker_lanes": lanes,
+            "cache": report.exec_cache,
+            "latency": latency.get("quantiles") or None,
+        }
 
     def _simulate_comm(self, iteration: int) -> dict[str, Any] | None:
         """Replay the iteration's recorded traversal through the DES with

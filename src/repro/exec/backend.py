@@ -25,7 +25,7 @@ from typing import Any
 import numpy as np
 
 from ..core.traverser import Recorder, TraversalStats, Traverser, get_traverser
-from ..obs import get_telemetry
+from ..obs import Log2Histogram, get_telemetry
 from ..trees import Tree
 
 __all__ = [
@@ -60,6 +60,16 @@ class ExecutionBackend:
         #: how the last ``run`` executed ("parallel" | "serial-fallback" |
         #: "serial"); tests and telemetry read this
         self.last_mode = "serial"
+        #: per-chunk task dicts from the last parallel run (worker lanes for
+        #: the ``repro top`` dashboard)
+        self.last_tasks: list[dict[str, Any]] = []
+        #: merged worker-side latency distribution from the last parallel run
+        self.last_latency: Log2Histogram | None = None
+        #: worker tree cache stats from the last run (process backend only)
+        self.last_cache_stats: dict[str, Any] | None = None
+        #: pipeline-phase span id captured at submission (trace context
+        #: stamped into every exec.task event)
+        self._phase_span: int | None = None
 
     # -- public API ---------------------------------------------------------
     def run(
@@ -94,6 +104,10 @@ class ExecutionBackend:
         if not self._supports(visitor):
             return self._serial(engine, tree, visitor, targets, recorder,
                                 mode="serial-fallback")
+        # Trace context: remember which pipeline-phase span owns this run so
+        # the worker task spans recorded after the fact can name their parent.
+        tel = get_telemetry()
+        self._phase_span = tel.tracer.current_span_id() if tel.enabled else None
         stats = self._run_chunks(engine, tree, visitor, chunks, forks,
                                  shared_cache=shared_cache)
         if forks is not None:
@@ -152,22 +166,46 @@ class ExecutionBackend:
         tel.metrics.gauge("exec.targets", backend=self.name).set(n_targets)
 
     def _record_tasks(self, tasks: list[dict[str, Any]]) -> None:
-        """Emit one completed span per chunk task.
+        """Emit one completed span per chunk task and reduce worker-side
+        latency histograms.
 
         Workers time themselves and the main thread records afterwards —
         the Tracer's nesting stack is not thread-safe, so worker threads
-        and processes never touch it directly.
+        and processes never touch it directly.  Each task may carry a
+        ``latency`` histogram fork recorded on the worker's own clock; they
+        are merged here in chunk order (never completion order), so the
+        reduced distribution is identical for any worker count.
         """
+        self.last_tasks = tasks
         tel = get_telemetry()
         if not tel.enabled:
             return
+        phase_span = self._phase_span
+        flight = tel.flight
+        merged = Log2Histogram()
         for t in tasks:
+            extra: dict[str, Any] = {}
+            if phase_span is not None:
+                extra["phase_span"] = phase_span
+            if "clock_offset" in t:
+                extra["clock_offset"] = t["clock_offset"]
             tel.tracer.complete(
                 "exec.task", t["start"], t["end"], cat="exec",
                 tid=int(t.get("lane", 0)),
                 backend=self.name, chunk=int(t["chunk"]),
                 targets=int(t["targets"]), worker=str(t.get("worker", "")),
+                **extra,
             )
+            flight.record(
+                "exec.chunk", backend=self.name, chunk=int(t["chunk"]),
+                dur=t["end"] - t["start"], worker=str(t.get("worker", "")),
+            )
+            fork = t.get("latency")
+            if fork is not None:
+                merged.merge(fork)
+        if merged.count:
+            tel.metrics.latency("exec.task.latency", backend=self.name).merge(merged)
+        self.last_latency = merged if merged.count else None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(workers={self.workers})"

@@ -25,6 +25,7 @@ from typing import Any
 import numpy as np
 
 from ..core.traverser import Recorder, TraversalStats, Traverser, get_traverser
+from ..obs import Log2Histogram, get_telemetry
 from ..trees import Tree
 from .backend import ExecutionBackend, register_backend
 from .shm import ShmArena, attach_arena
@@ -41,17 +42,21 @@ _WORKER_TREES: dict[str, tuple[Any, Tree, dict[str, np.ndarray]]] = {}
 _WORKER_CACHE_LIMIT = 2
 
 
-def _attach_tree(handle, meta) -> tuple[Tree, dict[str, np.ndarray]]:
+def _attach_tree(handle, meta) -> tuple[Tree, dict[str, np.ndarray], bool]:
     """Attach (or reuse) the arena named in ``handle`` and rebuild the tree.
 
     Rebuilding is zero-copy: every Tree/ParticleSet array is a read-only
     view straight into the shared segment (``ascontiguousarray`` on a
     contiguous matching-dtype view is the identity).
+
+    The third element of the return reports whether the per-segment worker
+    tree cache served this attach (True = hit); the parent aggregates it
+    into the ``exec.cache.*`` metrics.
     """
     name = handle[0]
     cached = _WORKER_TREES.get(name)
     if cached is not None:
-        return cached[1], cached[2]
+        return cached[1], cached[2], True
     while len(_WORKER_TREES) >= _WORKER_CACHE_LIMIT:
         _, (old_arena, _, _) = _WORKER_TREES.popitem()
         old_arena.close()
@@ -72,7 +77,7 @@ def _attach_tree(handle, meta) -> tuple[Tree, dict[str, np.ndarray]]:
         k[len("vis."):]: v for k, v in arena.arrays.items() if k.startswith("vis.")
     }
     _WORKER_TREES[name] = (arena, tree, vis_arrays)
-    return tree, vis_arrays
+    return tree, vis_arrays, False
 
 
 def _worker_run(
@@ -83,15 +88,26 @@ def _worker_run(
     config: dict[str, Any],
     chunk: np.ndarray,
     fork: Recorder | None,
+    record_latency: bool = False,
 ):
-    """Module-level worker entry point (must be picklable by reference)."""
+    """Module-level worker entry point (must be picklable by reference).
+
+    Ships the worker-clock ``t0``/``t1`` back (not just the duration): the
+    parent needs real endpoints to place the span on the trace timeline,
+    and it estimates the worker→parent clock offset from its own
+    submit/collect window rather than re-anchoring at collection time.
+    """
     t0 = time.perf_counter()
-    tree, vis_arrays = _attach_tree(handle, meta)
+    tree, vis_arrays, cache_hit = _attach_tree(handle, meta)
     visitor = visitor_cls.exec_rebuild(tree, vis_arrays, config)
     stats = get_traverser(engine_name)._traverse(tree, visitor, chunk, fork)
     outputs = visitor.exec_collect(tree, chunk)
     t1 = time.perf_counter()
-    return stats, outputs, fork, t1 - t0, os.getpid()
+    lat = None
+    if record_latency:
+        lat = Log2Histogram()
+        lat.observe(t1 - t0)
+    return stats, outputs, fork, t0, t1, os.getpid(), cache_hit, lat
 
 
 class ProcessBackend(ExecutionBackend):
@@ -140,23 +156,27 @@ class ProcessBackend(ExecutionBackend):
         meta = {"tree_type": tree.tree_type, "bucket_size": tree.bucket_size}
         config = visitor.exec_config()
         arena = ShmArena(shared)
+        record_latency = get_telemetry().enabled
+        submit = time.perf_counter()
         try:
             futures = [
                 pool.submit(
                     _worker_run, arena.handle, meta, engine.name,
                     type(visitor), config, c, forks[i] if forks else None,
+                    record_latency,
                 )
                 for i, c in enumerate(chunks)
             ]
             results = [f.result() for f in futures]  # chunk order, not completion
         finally:
+            collect = time.perf_counter()
             arena.dispose()
 
         total = TraversalStats()
         tasks = []
         lanes: dict[int, int] = {}
-        now = time.perf_counter()
-        for i, (stats, outputs, fork, duration, pid) in enumerate(results):
+        hits = misses = 0
+        for i, (stats, outputs, fork, t0, t1, pid, cache_hit, lat) in enumerate(results):
             total.merge(stats)
             visitor.exec_apply(tree, chunks[i], outputs)
             if forks is not None and fork is not None:
@@ -164,15 +184,46 @@ class ProcessBackend(ExecutionBackend):
                 # copy in so backend.run absorbs it in chunk order
                 forks[i] = fork
             lane = lanes.setdefault(pid, len(lanes))
-            # workers time on their own clock; anchor each span at the
-            # parent-side collection point so lanes line up in the trace
+            if cache_hit:
+                hits += 1
+            else:
+                misses += 1
+            # Workers time on their own clock.  Under the fork start method
+            # CLOCK_MONOTONIC is shared, so the worker interval normally
+            # falls inside the parent's [submit, collect] window and the
+            # offset is zero; on other start methods (or clock domains) the
+            # interval is centred into the window and the applied offset is
+            # reported with the span.
+            offset = 0.0
+            if not (submit <= t0 and t1 <= collect):
+                offset = (submit + collect) / 2.0 - (t0 + t1) / 2.0
             tasks.append({
                 "chunk": i, "targets": len(chunks[i]),
-                "start": now - duration, "end": now, "lane": lane,
-                "worker": f"pid-{pid}",
+                "start": t0 + offset, "end": t1 + offset, "lane": lane,
+                "worker": f"pid-{pid}", "clock_offset": offset,
+                "latency": lat,
             })
+        self._record_cache(hits, misses)
         self._record_tasks(tasks)
         return total
+
+    def _record_cache(self, hits: int, misses: int) -> None:
+        """Aggregate the workers' per-segment tree cache attach outcomes
+        into ``exec.cache.*`` metrics and ``last_cache_stats``."""
+        total = hits + misses
+        self.last_cache_stats = {
+            "attach_hits": hits,
+            "attach_misses": misses,
+            "hit_rate": hits / total if total else 0.0,
+        }
+        tel = get_telemetry()
+        if not tel.enabled:
+            return
+        tel.metrics.counter("exec.cache.attach_hits", backend=self.name).inc(hits)
+        tel.metrics.counter("exec.cache.attach_misses", backend=self.name).inc(misses)
+        tel.metrics.gauge("exec.cache.hit_rate", backend=self.name).set(
+            self.last_cache_stats["hit_rate"]
+        )
 
     def shutdown(self) -> None:
         if self._pool is not None:

@@ -27,6 +27,7 @@ from typing import Any
 import numpy as np
 
 from ..core.traverser import Recorder, TraversalStats, Traverser, get_traverser
+from ..obs import Log2Histogram, get_telemetry
 from ..trees import Tree
 from .backend import ExecutionBackend, register_backend
 
@@ -114,6 +115,8 @@ class ThreadBackend(ExecutionBackend):
                 type(visitor).exec_rebuild(tree, arrays, config) for _ in chunks
             ]
 
+        record_latency = get_telemetry().enabled
+
         def task(i: int, chunk: np.ndarray):
             t0 = time.perf_counter()
             warm = (0, 0)
@@ -127,7 +130,12 @@ class ThreadBackend(ExecutionBackend):
                 tree, vis, chunk, forks[i] if forks else None
             )
             t1 = time.perf_counter()
-            return stats, warm, t0, t1, threading.get_ident()
+            # worker-side latency fork, merged parent-side in chunk order
+            lat = None
+            if record_latency:
+                lat = Log2Histogram()
+                lat.observe(t1 - t0)
+            return stats, warm, t0, t1, threading.get_ident(), lat
 
         futures = [pool.submit(task, i, c) for i, c in enumerate(chunks)]
         results = [f.result() for f in futures]  # chunk order, not completion
@@ -136,7 +144,7 @@ class ThreadBackend(ExecutionBackend):
         warm_issued = warm_invoked = 0
         tasks = []
         lanes: dict[int, int] = {}
-        for i, (stats, warm, t0, t1, ident) in enumerate(results):
+        for i, (stats, warm, t0, t1, ident, lat) in enumerate(results):
             total.merge(stats)
             warm_issued += warm[0]
             warm_invoked += warm[1]
@@ -148,6 +156,7 @@ class ThreadBackend(ExecutionBackend):
             tasks.append({
                 "chunk": i, "targets": len(chunks[i]),
                 "start": t0, "end": t1, "lane": lane, "worker": f"thread-{lane}",
+                "latency": lat,
             })
         self.last_cache_warm = (warm_issued, warm_invoked)
         self._record_tasks(tasks)

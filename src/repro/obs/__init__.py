@@ -30,13 +30,44 @@ or end-to-end from the CLI::
 """
 
 from .span import NULL_TRACER, NullTracer, Span, Tracer
+from .hist import Log2Histogram, QUANTILES, quantile_label
+from .flight import (
+    FLIGHT_SCHEMA,
+    FlightRecorder,
+    NULL_FLIGHT,
+    NullFlightRecorder,
+    format_flight_dump,
+    load_flight_dump,
+)
 from .metrics import (
     Counter,
     Gauge,
     Histogram,
+    Latency,
     MetricsRegistry,
     NullMetricsRegistry,
     NULL_METRICS,
+)
+from .slo import (
+    SLO_SCHEMA,
+    SLOReport,
+    SLOSpec,
+    evaluate_slo,
+    parse_slo_spec,
+    samples_from_reports,
+    samples_from_sim,
+)
+from .top import (
+    STATUS_SCHEMA,
+    Dashboard,
+    StatusWriter,
+    follow_status_file,
+    read_status_file,
+)
+from .validate import (
+    validate_chrome_trace,
+    validate_flight_dump,
+    validate_slo_report,
 )
 from .telemetry import (
     NULL_TELEMETRY,
@@ -60,12 +91,37 @@ __all__ = [
     "Tracer",
     "NullTracer",
     "NULL_TRACER",
+    "Log2Histogram",
+    "QUANTILES",
+    "quantile_label",
+    "FlightRecorder",
+    "NullFlightRecorder",
+    "NULL_FLIGHT",
+    "FLIGHT_SCHEMA",
+    "load_flight_dump",
+    "format_flight_dump",
     "Counter",
     "Gauge",
     "Histogram",
+    "Latency",
     "MetricsRegistry",
     "NullMetricsRegistry",
     "NULL_METRICS",
+    "SLOSpec",
+    "SLOReport",
+    "SLO_SCHEMA",
+    "parse_slo_spec",
+    "evaluate_slo",
+    "samples_from_reports",
+    "samples_from_sim",
+    "Dashboard",
+    "StatusWriter",
+    "STATUS_SCHEMA",
+    "read_status_file",
+    "follow_status_file",
+    "validate_chrome_trace",
+    "validate_slo_report",
+    "validate_flight_dump",
     "Telemetry",
     "NULL_TELEMETRY",
     "get_telemetry",

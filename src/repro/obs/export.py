@@ -79,6 +79,11 @@ def _metric_rows(registry) -> list[dict[str, Any]]:
         labels = ";".join(f"{k}={v}" for k, v in sorted(snap["labels"].items()))
         if snap["type"] == "histogram":
             value, extra = snap["mean"], f"count={snap['count']}"
+        elif snap["type"] == "latency":
+            q = snap.get("quantiles", {})
+            value = snap["mean"]
+            extra = (f"count={snap['count']}"
+                     + "".join(f";{k}={v:.4g}" for k, v in q.items()))
         else:
             value, extra = snap["value"], ""
         rows.append({"name": snap["name"], "type": snap["type"],
@@ -127,6 +132,12 @@ def console_report(telemetry, max_rows: int = 60) -> str:
             if snap["type"] == "histogram":
                 value = f"n={snap['count']} mean={snap['mean']:.4g}"
                 print(f"{name:<40} {value:>14}", file=out)
+            elif snap["type"] == "latency":
+                q = snap.get("quantiles", {})
+                value = (f"n={snap['count']}"
+                         f" p50={q.get('p50', 0.0):.4g}"
+                         f" p99={q.get('p99', 0.0):.4g}")
+                print(f"{name:<40} {value:>24}", file=out)
             else:
                 print(f"{name:<40} {snap['value']:>14.6g}", file=out)
         if len(metrics) > max_rows:

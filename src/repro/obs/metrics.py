@@ -17,10 +17,13 @@ from __future__ import annotations
 
 from typing import Any, Iterable
 
+from .hist import Log2Histogram
+
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "Latency",
     "MetricsRegistry",
     "NullMetricsRegistry",
     "NULL_METRICS",
@@ -120,6 +123,57 @@ class Histogram:
         }
 
 
+class Latency:
+    """Mergeable log₂-bucketed latency distribution with quantiles.
+
+    A thin instrument wrapper around :class:`~repro.obs.hist.Log2Histogram`;
+    worker-side forks (from :meth:`fork`) merge back deterministically via
+    :meth:`merge`, which is how the parallel exec backends reduce
+    per-worker timings recorded on worker clocks."""
+
+    kind = "latency"
+    __slots__ = ("name", "labels", "hist")
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self.hist = Log2Histogram()
+
+    def observe(self, value: float) -> None:
+        self.hist.observe(value)
+
+    def observe_many(self, values) -> None:
+        self.hist.observe_many(values)
+
+    def fork(self) -> Log2Histogram:
+        return self.hist.fork()
+
+    def merge(self, other: Log2Histogram) -> None:
+        self.hist.merge(other.hist if isinstance(other, Latency) else other)
+
+    def quantile(self, q: float) -> float:
+        return self.hist.quantile(q)
+
+    def quantiles(self) -> dict[str, float]:
+        return self.hist.quantiles()
+
+    @property
+    def count(self) -> int:
+        return self.hist.count
+
+    @property
+    def sum(self) -> float:
+        return self.hist.sum
+
+    @property
+    def mean(self) -> float:
+        return self.hist.mean
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"name": self.name, "type": self.kind,
+                "labels": dict(self.labels), **self.hist.to_dict()}
+
+
 class MetricsRegistry:
     """Get-or-create store of labelled instruments."""
 
@@ -148,6 +202,9 @@ class MetricsRegistry:
     def histogram(self, name: str, bounds: Iterable[float] = (), **labels: Any) -> Histogram:
         return self._get(Histogram, name, labels, bounds=bounds)
 
+    def latency(self, name: str, **labels: Any) -> Latency:
+        return self._get(Latency, name, labels)
+
     # -- inspection ---------------------------------------------------------
     def collect(self) -> list[dict[str, Any]]:
         """Stable-ordered snapshots of every instrument."""
@@ -162,7 +219,7 @@ class MetricsRegistry:
         """Sum of a counter/gauge across all label sets."""
         return sum(
             m.value for (n, _), m in self._metrics.items()
-            if n == name and not isinstance(m, Histogram)
+            if n == name and not isinstance(m, (Histogram, Latency))
         )
 
     def __len__(self) -> int:
@@ -234,6 +291,8 @@ class _NullInstrument:
     __slots__ = ()
     value = 0.0
     count = 0
+    sum = 0.0
+    mean = 0.0
 
     def inc(self, amount: float = 1.0) -> None:
         pass
@@ -243,6 +302,21 @@ class _NullInstrument:
 
     def observe(self, value: float) -> None:
         pass
+
+    def observe_many(self, values) -> None:
+        pass
+
+    def fork(self) -> None:
+        return None
+
+    def merge(self, other) -> None:
+        pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+    def quantiles(self) -> dict:
+        return {}
 
 
 _NULL_INSTRUMENT = _NullInstrument()
@@ -260,6 +334,9 @@ class NullMetricsRegistry:
         return _NULL_INSTRUMENT
 
     def histogram(self, name: str, bounds: Iterable[float] = (), **labels: Any) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def latency(self, name: str, **labels: Any) -> _NullInstrument:
         return _NULL_INSTRUMENT
 
     def collect(self) -> list:

@@ -1,0 +1,208 @@
+"""Declarative latency SLOs evaluated with burn-rate windows.
+
+An :class:`SLOSpec` states an objective — "99% of samples complete under
+5 ms" — as ``lat<5ms,target=0.99``.  Evaluation follows the SRE burn-rate
+formulation: with error budget ``1 - target``, the *burn rate* of a window
+is ``bad_fraction / (1 - target)`` — 1.0 means the budget is being spent
+exactly at the sustainable rate, above 1.0 the objective will be missed if
+the window's behaviour continues.  Two windows are checked:
+
+* the **long window** — every sample (the full run);
+* the **short window** — the trailing ``window`` fraction of samples
+  (default 25%), which catches a run that *became* slow even when the
+  early samples keep the overall average healthy.
+
+The spec violates when either window's burn rate exceeds ``burn``
+(default 1.0).  Samples come from real runs (per-iteration wall times via
+:func:`samples_from_reports`) or from DES traffic (per-task service
+intervals via :func:`samples_from_sim`) — the same spec text evaluates
+over both, which is how CI can gate on simulated straggler traffic before
+the serving layer exists.
+
+Spec grammar (comma-separated, order-free after the objective)::
+
+    lat<5ms[,target=0.99][,burn=1.5][,window=0.25]
+
+with unit suffixes ``s``, ``ms``, ``us`` on the threshold.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from .hist import Log2Histogram
+
+__all__ = [
+    "SLOSpec",
+    "SLOReport",
+    "parse_slo_spec",
+    "evaluate_slo",
+    "samples_from_reports",
+    "samples_from_sim",
+    "SLO_SCHEMA",
+]
+
+#: schema tag for SLO report JSON, bumped on breaking layout changes
+SLO_SCHEMA = "repro.slo/1"
+
+_UNITS = {"s": 1.0, "ms": 1e-3, "us": 1e-6}
+
+_SPEC_RE = re.compile(r"^lat\s*<\s*(?P<value>[0-9.]+)\s*(?P<unit>s|ms|us)?$")
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One latency objective: ``good_fraction(samples < threshold) >= target``."""
+
+    threshold: float          # seconds
+    target: float = 0.99      # fraction of samples that must be good
+    burn_limit: float = 1.0   # max tolerated burn rate in any window
+    window: float = 0.25      # short-window size as a fraction of samples
+    text: str = ""            # original spec string, for reports
+
+    def __post_init__(self) -> None:
+        if self.threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if not 0.0 < self.target < 1.0:
+            raise ValueError("target must be in (0, 1)")
+        if self.burn_limit <= 0:
+            raise ValueError("burn limit must be positive")
+        if not 0.0 < self.window <= 1.0:
+            raise ValueError("window must be in (0, 1]")
+
+
+@dataclass
+class SLOReport:
+    """Evaluation result; ``to_dict()`` is the ``repro.slo/1`` schema."""
+
+    spec: SLOSpec
+    n_samples: int
+    windows: list[dict[str, Any]] = field(default_factory=list)
+    quantiles: dict[str, float] = field(default_factory=dict)
+    violated: bool = False
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": SLO_SCHEMA,
+            "spec": {
+                "text": self.spec.text,
+                "threshold": self.spec.threshold,
+                "target": self.spec.target,
+                "burn_limit": self.spec.burn_limit,
+                "window": self.spec.window,
+            },
+            "n_samples": self.n_samples,
+            "windows": self.windows,
+            "quantiles": self.quantiles,
+            "violated": self.violated,
+        }
+
+    def write(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2))
+        return path
+
+    def summary(self) -> str:
+        lines = [
+            f"SLO {self.spec.text or f'lat<{self.spec.threshold}s'}: "
+            f"{'VIOLATED' if self.violated else 'ok'} "
+            f"({self.n_samples} samples)"
+        ]
+        for w in self.windows:
+            lines.append(
+                f"  {w['name']:<6s} window ({w['n']} samples): "
+                f"bad={w['bad']} burn={w['burn_rate']:.2f} "
+                f"(limit {self.spec.burn_limit:.2f})"
+                + ("  <-- violated" if w["violated"] else "")
+            )
+        if self.quantiles:
+            q = "  ".join(f"{k}={v * 1e3:.3f}ms" for k, v in self.quantiles.items())
+            lines.append(f"  latency: {q}")
+        return "\n".join(lines)
+
+
+def parse_slo_spec(text: str) -> SLOSpec:
+    """Parse ``"lat<5ms,target=0.99,burn=1.5,window=0.25"``."""
+    parts = [p.strip() for p in text.split(",") if p.strip()]
+    if not parts:
+        raise ValueError("empty SLO spec")
+    m = _SPEC_RE.match(parts[0])
+    if not m:
+        raise ValueError(
+            f"bad SLO objective {parts[0]!r}: expected 'lat<NUMBER[s|ms|us]'"
+        )
+    threshold = float(m.group("value")) * _UNITS[m.group("unit") or "s"]
+    kwargs: dict[str, float] = {}
+    keys = {"target": "target", "burn": "burn_limit", "window": "window"}
+    for part in parts[1:]:
+        if "=" not in part:
+            raise ValueError(f"bad SLO option {part!r}: expected key=value")
+        key, _, value = part.partition("=")
+        key = key.strip()
+        if key not in keys:
+            raise ValueError(f"unknown SLO option {key!r} (expected {sorted(keys)})")
+        kwargs[keys[key]] = float(value)
+    return SLOSpec(threshold=threshold, text=text, **kwargs)
+
+
+def _window_stats(spec: SLOSpec, name: str, samples: Sequence[float]) -> dict[str, Any]:
+    n = len(samples)
+    bad = sum(1 for s in samples if s >= spec.threshold)
+    bad_fraction = bad / n if n else 0.0
+    burn = bad_fraction / (1.0 - spec.target)
+    return {
+        "name": name,
+        "n": n,
+        "bad": bad,
+        "bad_fraction": bad_fraction,
+        "burn_rate": burn,
+        "violated": burn > spec.burn_limit,
+    }
+
+
+def evaluate_slo(spec: SLOSpec, samples: Iterable[float]) -> SLOReport:
+    """Evaluate ``spec`` over ordered samples (oldest first)."""
+    ordered = [float(s) for s in samples]
+    windows = [_window_stats(spec, "long", ordered)]
+    if ordered and spec.window < 1.0:
+        n_short = max(1, math.ceil(spec.window * len(ordered)))
+        windows.append(_window_stats(spec, "short", ordered[-n_short:]))
+    hist = Log2Histogram()
+    if ordered:
+        hist.observe_many(ordered)
+    return SLOReport(
+        spec=spec,
+        n_samples=len(ordered),
+        windows=windows,
+        quantiles=hist.quantiles() if ordered else {},
+        violated=any(w["violated"] for w in windows),
+    )
+
+
+# -- sample adapters ---------------------------------------------------------
+
+def samples_from_reports(reports: Iterable[Any]) -> list[float]:
+    """Per-iteration wall times from driver :class:`IterationReport`\\ s
+    (reports without a recorded wall time are skipped)."""
+    out = []
+    for r in reports:
+        wall = getattr(r, "wall_time", None)
+        if wall is not None:
+            out.append(float(wall))
+    return out
+
+
+def samples_from_sim(result: Any) -> list[float]:
+    """Per-task service durations (simulated seconds) from a DES
+    :class:`~repro.runtime.model.SimResult`'s activity trace, in event
+    order — deterministic because the DES is."""
+    trace = getattr(result, "trace", None)
+    if trace is None:
+        return []
+    return [end - start for (_, _, start, end, _) in trace.intervals]

@@ -24,6 +24,8 @@ from __future__ import annotations
 import time
 from typing import Any, Callable
 
+from .flight import NULL_FLIGHT
+
 __all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
 
 #: seconds -> trace-event microseconds
@@ -33,7 +35,8 @@ _US = 1e6
 class Span:
     """One open interval; close it by exiting the ``with`` block."""
 
-    __slots__ = ("tracer", "name", "cat", "args", "pid", "tid", "start", "end", "depth")
+    __slots__ = ("tracer", "name", "cat", "args", "pid", "tid", "start", "end",
+                 "depth", "span_id")
 
     def __init__(self, tracer: "Tracer", name: str, cat: str, pid: int, tid: int,
                  args: dict[str, Any]) -> None:
@@ -46,6 +49,7 @@ class Span:
         self.start = 0.0
         self.end = 0.0
         self.depth = 0
+        self.span_id = 0
 
     @property
     def duration(self) -> float:
@@ -53,9 +57,12 @@ class Span:
         return self.end - self.start
 
     def __enter__(self) -> "Span":
-        self.depth = len(self.tracer._stack)
-        self.start = self.tracer.clock()
-        self.tracer._stack.append(self)
+        tracer = self.tracer
+        self.depth = len(tracer._stack)
+        self.span_id = tracer._next_span_id()
+        self.start = tracer.clock()
+        tracer._stack.append(self)
+        tracer.flight.record("span.open", name=self.name, span_id=self.span_id)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
@@ -68,7 +75,12 @@ class Span:
                 break
         self.tracer._emit(
             self.name, self.cat, self.start, self.end - self.start,
-            self.pid, self.tid, dict(self.args, depth=self.depth),
+            self.pid, self.tid,
+            dict(self.args, depth=self.depth, span_id=self.span_id),
+        )
+        self.tracer.flight.record(
+            "span.close", name=self.name, span_id=self.span_id,
+            dur=self.end - self.start,
         )
         return False
 
@@ -85,6 +97,20 @@ class Tracer:
         self.tid = tid
         self.events: list[dict[str, Any]] = []
         self._stack: list[Span] = []
+        self._span_seq = 0
+        #: flight recorder spans report into; :data:`NULL_FLIGHT` by default,
+        #: replaced by :class:`~repro.obs.telemetry.Telemetry` when enabled.
+        self.flight = NULL_FLIGHT
+
+    def _next_span_id(self) -> int:
+        self._span_seq += 1
+        return self._span_seq
+
+    def current_span_id(self) -> int | None:
+        """ID of the innermost open span (for trace-context propagation:
+        ``repro.exec`` stamps this into every ``exec.task`` event so worker
+        spans nest under their pipeline phase across process boundaries)."""
+        return self._stack[-1].span_id if self._stack else None
 
     # -- recording ----------------------------------------------------------
     def span(self, name: str, cat: str = "phase", pid: int | None = None,
@@ -216,10 +242,14 @@ class NullTracer:
     enabled = False
     events: tuple = ()
     open_spans = 0
+    flight = NULL_FLIGHT
 
     def span(self, name: str, cat: str = "phase", pid: int | None = None,
              tid: int | None = None, **args: Any) -> _NullSpan:
         return _NULL_SPAN
+
+    def current_span_id(self) -> None:
+        return None
 
     def complete(self, *args: Any, **kwargs: Any) -> None:
         pass

@@ -16,6 +16,7 @@ import functools
 from contextlib import contextmanager
 from typing import Any, Callable
 
+from .flight import FlightRecorder, NULL_FLIGHT, NullFlightRecorder
 from .metrics import MetricsRegistry, NULL_METRICS, NullMetricsRegistry
 from .span import NULL_TRACER, NullTracer, Tracer
 
@@ -37,14 +38,20 @@ class Telemetry:
         tracer: Tracer | NullTracer | None = None,
         metrics: MetricsRegistry | NullMetricsRegistry | None = None,
         enabled: bool = True,
+        flight: FlightRecorder | NullFlightRecorder | None = None,
     ) -> None:
         self.enabled = enabled
         if enabled:
             self.tracer = tracer if tracer is not None else Tracer()
             self.metrics = metrics if metrics is not None else MetricsRegistry()
+            self.flight = flight if flight is not None else FlightRecorder()
         else:
             self.tracer = NULL_TRACER
             self.metrics = NULL_METRICS
+            self.flight = NULL_FLIGHT
+        # spans report open/close into the flight recorder through the tracer
+        if getattr(self.tracer, "enabled", False):
+            self.tracer.flight = self.flight
 
     def span(self, name: str, cat: str = "phase", **args: Any):
         """Shortcut for ``self.tracer.span(...)``."""

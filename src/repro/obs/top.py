@@ -1,0 +1,194 @@
+"""Live terminal dashboard (``repro top``) and machine-readable status feed.
+
+The driver produces one *status snapshot* dict per iteration (schema
+``repro.status/1``): per-phase times, worker-lane utilisation, exec cache
+hit rate, and rolling latency quantiles.  Two consumers:
+
+* :class:`Dashboard` — renders snapshots as an ANSI terminal screen
+  (``render`` is pure string-in/string-out so tests can assert on it;
+  ``update`` repaints in place);
+* :class:`StatusWriter` — appends snapshots as JSON lines to a file that a
+  separate ``repro top <status-file> --follow`` process tails, which is how
+  you watch a long run you did not start.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any, Callable, Iterator, TextIO
+
+__all__ = ["Dashboard", "StatusWriter", "STATUS_SCHEMA",
+           "read_status_file", "follow_status_file"]
+
+#: schema tag on every status snapshot line
+STATUS_SCHEMA = "repro.status/1"
+
+_CLEAR = "\x1b[2J\x1b[H"
+_BOLD = "\x1b[1m"
+_DIM = "\x1b[2m"
+_RESET = "\x1b[0m"
+
+
+def _bar(fraction: float, width: int) -> str:
+    fraction = min(max(fraction, 0.0), 1.0)
+    filled = int(round(fraction * width))
+    return "█" * filled + "·" * (width - filled)
+
+
+def _fmt_s(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:7.3f}s "
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:7.3f}ms"
+    return f"{seconds * 1e6:7.3f}µs"
+
+
+class Dashboard:
+    """Renders status snapshots to a terminal, repainting in place."""
+
+    def __init__(self, stream: TextIO | None = None,
+                 use_ansi: bool | None = None, width: int = 72) -> None:
+        self.stream = stream if stream is not None else sys.stdout
+        if use_ansi is None:
+            use_ansi = bool(getattr(self.stream, "isatty", lambda: False)())
+        self.use_ansi = use_ansi
+        self.width = width
+
+    # -- formatting helpers --------------------------------------------------
+    def _b(self, text: str) -> str:
+        return f"{_BOLD}{text}{_RESET}" if self.use_ansi else text
+
+    def _d(self, text: str) -> str:
+        return f"{_DIM}{text}{_RESET}" if self.use_ansi else text
+
+    def render(self, snap: dict[str, Any]) -> str:
+        """Pure snapshot -> screen-text; no I/O, no clock reads."""
+        lines: list[str] = []
+        head = (
+            f"repro top — {snap.get('pipeline', 'run')} "
+            f"iter {snap.get('iteration', '?')}"
+        )
+        meta = []
+        if snap.get("backend"):
+            meta.append(f"backend={snap['backend']}")
+        if snap.get("workers"):
+            meta.append(f"workers={snap['workers']}")
+        if snap.get("n_particles"):
+            meta.append(f"n={snap['n_particles']}")
+        if snap.get("throughput"):
+            meta.append(f"{snap['throughput']:,.0f} particles/s")
+        lines.append(self._b(head) + ("   " + self._d(" ".join(meta)) if meta else ""))
+
+        phases: dict[str, float] = snap.get("phases") or {}
+        if phases:
+            lines.append("")
+            lines.append(self._b("phases"))
+            total = sum(phases.values()) or 1.0
+            bar_w = max(10, self.width - 36)
+            for name, dur in phases.items():
+                frac = dur / total
+                lines.append(
+                    f"  {name:<16s} {_fmt_s(dur)} {_bar(frac, bar_w)} {frac * 100:5.1f}%"
+                )
+
+        lanes = snap.get("worker_lanes") or []
+        if lanes:
+            lines.append("")
+            lines.append(self._b("worker lanes (traversal)"))
+            span = max((l.get("busy", 0.0) for l in lanes), default=0.0) or 1.0
+            bar_w = max(10, self.width - 36)
+            for lane in lanes:
+                busy = lane.get("busy", 0.0)
+                lines.append(
+                    f"  lane {lane.get('lane', '?'):>3}  {_fmt_s(busy)} "
+                    f"{_bar(busy / span, bar_w)} {lane.get('tasks', 0):3d} tasks"
+                )
+
+        cache = snap.get("cache") or {}
+        if cache:
+            lines.append("")
+            hits = cache.get("hits", cache.get("attach_hits", 0))
+            misses = cache.get("misses", cache.get("attach_misses", 0))
+            rate = cache.get("hit_rate")
+            if rate is None:
+                total_c = hits + misses
+                rate = hits / total_c if total_c else 0.0
+            lines.append(
+                self._b("worker tree cache") + "  "
+                f"hit rate {rate * 100:5.1f}%  ({hits} hits / {misses} misses)"
+            )
+
+        quant = snap.get("latency") or {}
+        if quant:
+            lines.append("")
+            q = "  ".join(f"{k}={_fmt_s(v).strip()}" for k, v in quant.items())
+            lines.append(self._b("task latency") + "  " + q)
+
+        if snap.get("wall_time") is not None:
+            lines.append("")
+            lines.append(self._d(f"iteration wall time {_fmt_s(snap['wall_time']).strip()}"))
+        return "\n".join(lines)
+
+    def update(self, snap: dict[str, Any]) -> None:
+        """Repaint the screen with ``snap`` (clears when ANSI is on)."""
+        text = self.render(snap)
+        if self.use_ansi:
+            self.stream.write(_CLEAR + text + "\n")
+        else:
+            self.stream.write(text + "\n\n")
+        self.stream.flush()
+
+
+class StatusWriter:
+    """Appends one JSON line per snapshot to ``path`` (created eagerly so
+    a follower can start tailing before the first iteration finishes)."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text("")
+        self.written = 0
+
+    def update(self, snap: dict[str, Any]) -> None:
+        with self.path.open("a") as fh:
+            fh.write(json.dumps(dict(snap, schema=STATUS_SCHEMA)) + "\n")
+        self.written += 1
+
+
+def read_status_file(path: str | Path) -> list[dict[str, Any]]:
+    """All snapshots currently in a status file (skips partial last line)."""
+    out = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            out.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue  # mid-write partial line
+    return out
+
+
+def follow_status_file(path: str | Path, poll: float = 0.5,
+                       stop: Callable[[], bool] | None = None,
+                       sleep: Callable[[float], None] = time.sleep,
+                       ) -> Iterator[dict[str, Any]]:
+    """Yield snapshots as they are appended (``tail -f`` semantics).
+
+    ``stop`` is polled between reads so callers (and tests) can end the
+    follow loop; by default the generator runs until interrupted.
+    """
+    path = Path(path)
+    seen = 0
+    while True:
+        if path.exists():
+            snaps = read_status_file(path)
+            for snap in snaps[seen:]:
+                yield snap
+            seen = len(snaps)
+        if stop is not None and stop():
+            return
+        sleep(poll)

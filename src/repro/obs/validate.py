@@ -1,0 +1,142 @@
+"""Validators for the observability artifacts CI gates on.
+
+Three document kinds, three checkers (each returns a list of problem
+strings — empty means valid):
+
+* :func:`validate_chrome_trace` — structural Trace Event Format checks
+  plus the trace-context invariant: every ``exec.task`` event must carry
+  an ``args.phase_span`` that names an emitted span (by ``args.span_id``)
+  whose interval contains the task, i.e. worker spans nest under their
+  pipeline phase even when they crossed a process boundary;
+* :func:`validate_slo_report` — the ``repro.slo/1`` schema;
+* :func:`validate_flight_dump` — the ``repro.flight/1`` schema.
+
+``repro obs validate-trace`` / ``validate-slo`` expose these on the CLI so
+the obs-smoke CI job can gate on real artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .flight import FLIGHT_SCHEMA
+from .slo import SLO_SCHEMA
+
+__all__ = [
+    "validate_chrome_trace",
+    "validate_slo_report",
+    "validate_flight_dump",
+]
+
+#: slack (µs) for phase-span containment checks: exec.task intervals are
+#: measured on worker clocks, so allow a hair of skew at the edges.
+_EDGE_SLACK_US = 1e3
+
+
+def validate_chrome_trace(doc: dict[str, Any],
+                          require_exec_tasks: bool = False) -> list[str]:
+    """Problems with a Chrome trace-event document (empty list = valid)."""
+    problems: list[str] = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing traceEvents array"]
+
+    spans_by_id: dict[int, dict[str, Any]] = {}
+    complete: list[dict[str, Any]] = []
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph == "M":
+            continue
+        if ph != "X":
+            problems.append(f"event {i}: unexpected ph={ph!r}")
+            continue
+        for field in ("name", "ts", "dur", "pid", "tid"):
+            if field not in ev:
+                problems.append(f"event {i} ({ev.get('name', '?')}): missing {field!r}")
+        if ev.get("dur", 0) < 0:
+            problems.append(f"event {i} ({ev.get('name', '?')}): negative dur")
+        complete.append(ev)
+        span_id = (ev.get("args") or {}).get("span_id")
+        if span_id is not None:
+            spans_by_id[span_id] = ev
+
+    tasks = [e for e in complete if e.get("name") == "exec.task"]
+    if require_exec_tasks and not tasks:
+        problems.append("no exec.task events in trace")
+    for ev in tasks:
+        args = ev.get("args") or {}
+        phase_span = args.get("phase_span")
+        if phase_span is None:
+            problems.append(
+                f"exec.task (backend={args.get('backend')}, "
+                f"chunk={args.get('chunk')}): no phase_span"
+            )
+            continue
+        parent = spans_by_id.get(phase_span)
+        if parent is None:
+            problems.append(f"exec.task: phase_span {phase_span} matches no span")
+            continue
+        t0, t1 = ev["ts"], ev["ts"] + ev["dur"]
+        p0, p1 = parent["ts"], parent["ts"] + parent["dur"]
+        if t0 < p0 - _EDGE_SLACK_US or t1 > p1 + _EDGE_SLACK_US:
+            problems.append(
+                f"exec.task [{t0:.0f}, {t1:.0f}]µs outside its phase span "
+                f"{parent['name']!r} [{p0:.0f}, {p1:.0f}]µs"
+            )
+    return problems
+
+
+def validate_slo_report(doc: dict[str, Any]) -> list[str]:
+    """Problems with a ``repro.slo/1`` report (empty list = valid)."""
+    problems: list[str] = []
+    if doc.get("schema") != SLO_SCHEMA:
+        problems.append(
+            f"bad schema {doc.get('schema')!r} (expected {SLO_SCHEMA!r})"
+        )
+    spec = doc.get("spec")
+    if not isinstance(spec, dict):
+        problems.append("missing spec object")
+    else:
+        for field in ("threshold", "target", "burn_limit", "window"):
+            if not isinstance(spec.get(field), (int, float)):
+                problems.append(f"spec.{field} missing or non-numeric")
+    if not isinstance(doc.get("n_samples"), int):
+        problems.append("n_samples missing or non-integer")
+    windows = doc.get("windows")
+    if not isinstance(windows, list) or not windows:
+        problems.append("missing windows array")
+    else:
+        for w in windows:
+            for field in ("name", "n", "bad", "burn_rate", "violated"):
+                if field not in w:
+                    problems.append(f"window {w.get('name', '?')}: missing {field!r}")
+    if not isinstance(doc.get("violated"), bool):
+        problems.append("violated missing or non-boolean")
+    return problems
+
+
+def validate_flight_dump(doc: dict[str, Any]) -> list[str]:
+    """Problems with a ``repro.flight/1`` dump (empty list = valid)."""
+    problems: list[str] = []
+    if doc.get("schema") != FLIGHT_SCHEMA:
+        problems.append(
+            f"bad schema {doc.get('schema')!r} (expected {FLIGHT_SCHEMA!r})"
+        )
+    events = doc.get("events")
+    if not isinstance(events, list):
+        return problems + ["missing events array"]
+    last_t = None
+    for i, ev in enumerate(events):
+        if "t" not in ev or "kind" not in ev:
+            problems.append(f"event {i}: missing t/kind")
+            continue
+        if last_t is not None and ev["t"] < last_t:
+            problems.append(f"event {i}: timestamps not monotonic")
+        last_t = ev["t"]
+    return problems
+
+
+def load_json(path: str | Path) -> dict[str, Any]:
+    return json.loads(Path(path).read_text())

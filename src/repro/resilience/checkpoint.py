@@ -382,6 +382,12 @@ class CheckpointWriter:
             self.buddy.commit(self.rank, checkpoint_to_bytes(ckpt))
         self.written.append(str(path))
         self._rotate()
+        from ..obs import get_telemetry
+
+        get_telemetry().flight.record(
+            "checkpoint.commit", iteration=ckpt.iteration, path=str(path),
+            buddy=self.buddy is not None,
+        )
         return str(path)
 
     def _rotate(self) -> None:

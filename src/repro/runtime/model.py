@@ -496,6 +496,10 @@ class TraversalSim:
                 "faults.retry", sent_at, self.sim.now, cat="faults",
                 pid=proc, group=group, attempt=attempt,
             )
+        self.telemetry.flight.record(
+            "faults.retry", process=proc, group=group, attempt=attempt,
+            reason=reason, sim_time=self.sim.now,
+        )
         self._issue_request(proc, home, state, group, size, attempt=attempt + 1)
 
     # -- crash-with-restart ----------------------------------------------------
@@ -540,6 +544,10 @@ class TraversalSim:
         sim = self.sim
         self.injector.counters.crash_restarts += 1
         self._crashed_until[proc] = sim.now + restart_delay
+        self.telemetry.flight.record(
+            "des.crash", process=proc, sim_time=sim.now,
+            restart_delay=restart_delay,
+        )
         group_bytes = self.workload.groups.group_bytes
         lost_lines = 0
         lost_bytes = 0.0
@@ -571,6 +579,10 @@ class TraversalSim:
 
         def finish_recovery():
             rec.recovered_at = sim.now
+            self.telemetry.flight.record(
+                "des.recovered", process=proc, sim_time=sim.now,
+                bytes_refetched=rec.bytes_refetched,
+            )
 
         def deserialize():
             if buddy is not None:
@@ -621,6 +633,17 @@ class TraversalSim:
             telemetry.tracer.record_activity_trace(self.trace)
         metrics = telemetry.metrics
         model = self.cache_model.name
+        if self.trace is not None and self.trace.intervals:
+            # Per-task simulated service durations, vectorised into the
+            # log2 latency histogram (the DES analogue of exec.task.latency,
+            # what SLO specs evaluate over simulated traffic shapes).
+            iv = np.asarray(
+                [(s, e) for (_, _, s, e, _) in self.trace.intervals],
+                dtype=np.float64,
+            )
+            metrics.latency("des.task.latency", model=model).observe_many(
+                iv[:, 1] - iv[:, 0]
+            )
         metrics.counter("des.requests", model=model).inc(self.requests)
         metrics.counter("des.duplicate_requests", model=model).inc(self.duplicate_requests)
         metrics.counter("des.bytes_moved", model=model).inc(self.bytes_moved)
