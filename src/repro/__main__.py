@@ -107,12 +107,57 @@ def _add_parallel(p: argparse.ArgumentParser) -> None:
     p.add_argument("--workers", type=int, default=0, metavar="W",
                    help="worker count for --backend threads/processes "
                         "(0 = CPU count)")
+    p.add_argument("--exec-faults", metavar="SPEC", default=None,
+                   help="inject real faults into exec workers: "
+                        "err=P,hang=P@SECS,kill=P,seed=N (kill SIGKILLs "
+                        "process workers mid-chunk; supervision recovers)")
+    p.add_argument("--chunk-deadline", type=float, default=None, metavar="SECS",
+                   help="explicit per-chunk deadline; expired attempts are "
+                        "abandoned and re-dispatched (default: seeded from "
+                        "observed chunk latency)")
+    p.add_argument("--max-chunk-retries", type=int, default=None, metavar="K",
+                   help="re-dispatch budget per chunk before it is "
+                        "quarantined and run serially in-parent (default 3)")
+    p.add_argument("--no-supervise", action="store_true",
+                   help="disable supervised dispatch (deadlines, retry, "
+                        "pool rebuild); a worker death then kills the run")
 
 
 def _enable_parallel_from_args(driver, args) -> None:
     """Attach the requested execution backend to a Driver run."""
-    if getattr(args, "backend", "serial") != "serial":
-        driver.enable_parallel(args.backend, workers=args.workers or None)
+    if getattr(args, "backend", "serial") == "serial":
+        return
+    supervise = None  # driver default: on
+    if getattr(args, "no_supervise", False):
+        supervise = False
+    elif (getattr(args, "chunk_deadline", None) is not None
+            or getattr(args, "max_chunk_retries", None) is not None):
+        from .exec import SupervisorConfig
+
+        overrides = {}
+        if args.chunk_deadline is not None:
+            overrides["chunk_deadline"] = args.chunk_deadline
+        if args.max_chunk_retries is not None:
+            overrides["max_chunk_retries"] = args.max_chunk_retries
+        supervise = SupervisorConfig(**overrides)
+    try:
+        driver.enable_parallel(
+            args.backend, workers=args.workers or None,
+            supervise=supervise,
+            exec_faults=getattr(args, "exec_faults", None),
+        )
+    except ValueError as exc:  # bad --exec-faults/--chunk-deadline spec
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2) from None
+
+
+def _print_exec_health(driver) -> None:
+    """One line per degraded iteration: what supervision had to do."""
+    for rep in driver.reports:
+        if rep.exec_mode != "degraded" or not rep.supervision:
+            continue
+        acts = ", ".join(f"{k}={v}" for k, v in rep.supervision.items() if v)
+        print(f"iteration {rep.iteration}: exec degraded ({acts})")
 
 
 def _add_checkpoint(p: argparse.ArgumentParser) -> None:
@@ -298,9 +343,12 @@ def cmd_gravity(args) -> int:
                             "dt": args.dt, "with_quadrupole": args.quadrupole},
             )
         t0 = time.time()
-        driver.run()
-        driver.disable_parallel()
+        try:
+            driver.run()
+        finally:
+            driver.disable_parallel()
         print(f"traversal: {time.time() - t0:.2f}s  {driver.last_stats.as_dict()}")
+        _print_exec_health(driver)
         for rep in driver.reports:
             cs = rep.comm_sim
             if not cs:
@@ -376,10 +424,13 @@ def cmd_sph(args) -> int:
                 app="sph", app_config={"k_neighbors": args.k, "dt": args.dt},
             )
         t0 = time.time()
-        driver.run()
-        driver.disable_parallel()
+        try:
+            driver.run()
+        finally:
+            driver.disable_parallel()
         print(f"{args.iterations} iteration(s) in {time.time() - t0:.2f}s; "
               f"median rho {np.median(driver.state.density):.4f}")
+        _print_exec_health(driver)
         if args.save_state:
             _save_state(driver, args.save_state)
         _finish_telemetry(telemetry, args)
@@ -430,10 +481,13 @@ def cmd_knn(args) -> int:
                 app="knn", app_config={"k": args.k},
             )
         t0 = time.time()
-        driver.run()
-        driver.disable_parallel()
+        try:
+            driver.run()
+        finally:
+            driver.disable_parallel()
         print(f"kNN k={args.k}: {time.time() - t0:.2f}s, "
               f"median d_k={np.median(driver.kth_distances()):.4f}")
+        _print_exec_health(driver)
         if args.save_state:
             _save_state(driver, args.save_state)
         _finish_telemetry(telemetry, args)
@@ -480,10 +534,13 @@ def cmd_disk(args) -> int:
             app="disk", app_config={"dt": args.dt},
         )
     t0 = time.time()
-    d.run()
-    d.disable_parallel()
+    try:
+        d.run()
+    finally:
+        d.disable_parallel()
     print(f"{args.steps} steps in {time.time() - t0:.1f}s; "
           f"collisions recorded: {len(d.log)}")
+    _print_exec_health(d)
     if args.save_state:
         _save_state(d, args.save_state)
     if args.critical_path:
@@ -531,8 +588,11 @@ def cmd_correlation(args) -> int:
                 app_config={"rmin": args.rmin, "rmax": args.rmax,
                             "bins": args.bins},
             )
-        driver.run()
-        driver.disable_parallel()
+        try:
+            driver.run()
+        finally:
+            driver.disable_parallel()
+        _print_exec_health(driver)
         res, edges = driver.result, driver.edges
         print(f"{'r_lo':>8} {'r_hi':>8} {'xi':>10} {'DD':>10}")
         for i in range(len(res.xi)):
@@ -581,11 +641,14 @@ def cmd_resume(args) -> int:
             app=ckpt.app, app_config=ckpt.app_config,
         )
     t0 = time.time()
-    driver.run(resume_from=ckpt)
-    driver.disable_parallel()
+    try:
+        driver.run(resume_from=ckpt)
+    finally:
+        driver.disable_parallel()
     ran = max(driver.config.num_iterations - ckpt.iteration, 0)
     print(f"resumed {ckpt.app or 'run'} at iteration {ckpt.iteration}: "
           f"ran {ran} more iteration(s) in {time.time() - t0:.2f}s")
+    _print_exec_health(driver)
     problems = audit_restore(driver)
     if problems:
         for prob in problems:
@@ -600,6 +663,28 @@ def cmd_resume(args) -> int:
 
 
 def cmd_audit(args) -> int:
+    if args.shm:
+        from .exec import sweep_orphan_segments
+
+        records = sweep_orphan_segments(
+            prefix=args.shm_prefix, dry_run=args.dry_run
+        )
+        orphans = [r for r in records if r["orphan"]]
+        live = len(records) - len(orphans)
+        for r in orphans:
+            verb = "would remove" if args.dry_run else (
+                "removed" if r["removed"] else "failed to remove")
+            print(f"  {verb} {r['name']} "
+                  f"({r['bytes']:,} B, dead pid {r['pid']}, "
+                  f"generation {r['generation']})")
+        freed = sum(r["bytes"] for r in orphans if r["removed"] or args.dry_run)
+        print(f"shm sweep: {len(orphans)} orphan segment(s) "
+              f"({freed:,} B), {live} owned by live processes (kept)")
+        return 0
+    if args.a is None or args.b is None:
+        print("error: audit needs two state archives (or --shm)",
+              file=sys.stderr)
+        return 2
     from .resilience import CheckpointError, audit_state_files
 
     try:
@@ -943,9 +1028,18 @@ def main(argv=None) -> int:
 
     a = sub.add_parser(
         "audit", help="byte-level comparison of two npz state archives "
-                      "(checkpoints or --save-state snapshots)")
-    a.add_argument("a")
-    a.add_argument("b")
+                      "(checkpoints or --save-state snapshots), or "
+                      "--shm to sweep orphaned shared-memory segments")
+    a.add_argument("a", nargs="?", default=None)
+    a.add_argument("b", nargs="?", default=None)
+    a.add_argument("--shm", action="store_true",
+                   help="sweep /dev/shm for arena segments whose owning "
+                        "process is dead (left by SIGKILLed/OOM-killed "
+                        "runs) and unlink them")
+    a.add_argument("--shm-prefix", default="repro", metavar="PREFIX",
+                   help="segment name prefix to match (default: repro)")
+    a.add_argument("--dry-run", action="store_true",
+                   help="with --shm: report orphans without unlinking")
     a.set_defaults(fn=cmd_audit)
 
     sc = sub.add_parser("scale", help="simulated strong-scaling sweep")

@@ -29,6 +29,10 @@ class KNNDriver(Driver):
     def traversal(self, iteration: int) -> None:
         self.result = knn_search(self.tree, k=self.k, backend=self.exec_backend)
         self.last_stats.merge(self.result.stats)
+        if self.exec_backend is not None:
+            # knn_search drives the backend directly (not via partitions()),
+            # so fold its latency/cache/supervision into the iteration here
+            self._absorb_backend_run(self.exec_backend)
 
     def kth_distances(self) -> np.ndarray:
         """Distance to the k-th neighbour per particle (tree order)."""

@@ -43,6 +43,10 @@ class SPHDriver(Driver):
     def traversal(self, iteration: int) -> None:
         self.state = compute_density_knn(self.tree, k=self.k, backend=self.exec_backend)
         self.last_stats.merge(self.state.stats)
+        if self.exec_backend is not None:
+            # compute_density_knn drives the backend directly (not via
+            # partitions()), so fold its latency/cache/supervision in here
+            self._absorb_backend_run(self.exec_backend)
 
     def post_traversal(self, iteration: int) -> None:
         assert self.state is not None

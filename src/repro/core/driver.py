@@ -165,6 +165,14 @@ class IterationReport:
     #: iteration (a :meth:`Log2Histogram.to_dict`), when a parallel
     #: backend ran with telemetry on
     latency: dict[str, Any] | None = None
+    #: how the iteration's backend runs executed: "parallel" when every
+    #: run took the clean path, "degraded" when supervision had to
+    #: intervene anywhere (retry/redispatch/worker death/quarantine),
+    #: "serial"/"serial-fallback" otherwise; None without a backend
+    exec_mode: str | None = None
+    #: summed :meth:`~repro.exec.SupervisionStats.to_dict` over this
+    #: iteration's supervised backend runs, when any were supervised
+    supervision: dict[str, int] | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-serializable view (numpy arrays/scalars converted), so
@@ -182,6 +190,8 @@ class IterationReport:
             "wall_time": None if self.wall_time is None else float(self.wall_time),
             "exec_cache": _jsonable(self.exec_cache),
             "latency": _jsonable(self.latency),
+            "exec_mode": self.exec_mode,
+            "supervision": _jsonable(self.supervision),
         }
 
 
@@ -221,6 +231,8 @@ class Driver:
         #: per-iteration accumulators filled by _absorb_backend_run
         self._iter_latency = None
         self._iter_cache: dict[str, int] | None = None
+        self._iter_supervision: dict[str, int] | None = None
+        self._iter_exec_mode: str | None = None
 
     # -- user hooks ---------------------------------------------------------
     def configure(self, config: Configuration) -> None:
@@ -296,6 +308,7 @@ class Driver:
         self.fault_plan = plan
 
     def enable_parallel(self, backend: str = "threads", workers: int | None = None,
+                        supervise: Any = None, exec_faults: Any = None,
                         **opts: Any):
         """Run every partition traversal through a ``repro.exec`` backend.
 
@@ -305,11 +318,29 @@ class Driver:
         and reduce in partition order.  The thread backend additionally
         exercises the :class:`~repro.cache.concurrent.SharedTreeCache`
         wait-free fill path from its workers.  Returns the backend.
+
+        At the driver level supervision **defaults on** (unlike raw
+        :func:`~repro.exec.get_backend`, which preserves the original
+        block-on-result dispatch): a long-running pipeline should degrade,
+        not die, when a worker is OOM-killed.  Pass ``supervise=False`` to
+        opt out, or a :class:`~repro.exec.SupervisorConfig` to tune
+        deadlines/retries.  ``exec_faults`` (an
+        :class:`~repro.faults.ExecFaultPlan` or an ``--exec-faults`` spec
+        string) injects real worker faults for chaos testing.
         """
         from ..exec import get_backend
 
+        if isinstance(exec_faults, str):
+            from ..faults import parse_exec_fault_spec
+
+            exec_faults = parse_exec_fault_spec(exec_faults)
+        if supervise is None:
+            supervise = True
         self.disable_parallel()
-        self._exec_backend = get_backend(backend, workers=workers, **opts)
+        self._exec_backend = get_backend(
+            backend, workers=workers, supervise=supervise,
+            exec_faults=exec_faults, **opts,
+        )
         return self._exec_backend
 
     def disable_parallel(self) -> None:
@@ -379,6 +410,15 @@ class Driver:
                 self._iter_cache = {"attach_hits": 0, "attach_misses": 0}
             self._iter_cache["attach_hits"] += cache["attach_hits"]
             self._iter_cache["attach_misses"] += cache["attach_misses"]
+        sup = backend.last_supervision
+        if sup is not None:
+            if self._iter_supervision is None:
+                self._iter_supervision = dict.fromkeys(sup, 0)
+            for k, v in sup.items():
+                self._iter_supervision[k] = self._iter_supervision.get(k, 0) + v
+        # "degraded" is sticky across the iteration's runs
+        if self._iter_exec_mode != "degraded":
+            self._iter_exec_mode = backend.last_mode
 
     def enable_critical_path(self, enabled: bool = True) -> None:
         """Attribute each iteration's simulated communication schedule.
@@ -460,6 +500,8 @@ class Driver:
         tracer = tel.tracer
         self._iter_latency = None
         self._iter_cache = None
+        self._iter_supervision = None
+        self._iter_exec_mode = None
         events_before = len(tracer.events)
         t_iter = time.perf_counter()
 
@@ -585,6 +627,8 @@ class Driver:
                 latency=(self._iter_latency.to_dict()
                          if self._iter_latency is not None
                          and self._iter_latency.count else None),
+                exec_mode=self._iter_exec_mode,
+                supervision=self._iter_supervision,
             )
             self.reports.append(report)
             if tel.enabled:
@@ -636,6 +680,9 @@ class Driver:
             "worker_lanes": lanes,
             "cache": report.exec_cache,
             "latency": latency.get("quantiles") or None,
+            "mode": report.exec_mode,
+            "degraded": report.exec_mode == "degraded",
+            "supervision": report.supervision,
         }
 
     def _simulate_comm(self, iteration: int) -> dict[str, Any] | None:

@@ -34,7 +34,8 @@ from .backend import (
     register_backend,
 )
 from .chunking import chunk_targets
-from .shm import ShmArena, attach_arena
+from .shm import ShmArena, attach_arena, sweep_orphan_segments
+from .supervise import ChunkSupervisor, SupervisionStats, SupervisorConfig
 from .threads import ThreadBackend
 from .processes import ProcessBackend
 
@@ -49,4 +50,8 @@ __all__ = [
     "chunk_targets",
     "ShmArena",
     "attach_arena",
+    "sweep_orphan_segments",
+    "ChunkSupervisor",
+    "SupervisionStats",
+    "SupervisorConfig",
 ]

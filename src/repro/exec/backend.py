@@ -52,14 +52,45 @@ class ExecutionBackend:
     name: str = "abstract"
     #: whether this backend ever runs more than one chunk concurrently
     parallel: bool = True
+    #: whether the supervisor may Future.cancel() abandoned attempts
+    #: (process pools must not — see ChunkSupervisor.cancel_abandoned)
+    supervisor_cancels: bool = True
 
-    def __init__(self, workers: int | None = None) -> None:
+    def __init__(self, workers: int | None = None, supervise=None,
+                 exec_faults=None) -> None:
         self.workers = int(workers) if workers else _default_workers()
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
-        #: how the last ``run`` executed ("parallel" | "serial-fallback" |
-        #: "serial"); tests and telemetry read this
+        #: real-execution fault plan injected into workers (tests/chaos)
+        self.exec_faults = exec_faults
+        #: supervision config: ``True``/a ``SupervisorConfig`` arms the
+        #: supervised dispatch loop; ``False`` forces the PR 5 blocking
+        #: dispatch; ``None`` auto-arms only when a fault plan is present
+        #: (running injected faults unsupervised is asking to die — which
+        #: is exactly what ``supervise=False`` is for demonstrating).
+        from .supervise import SupervisorConfig
+
+        if supervise is False:
+            self.supervise_config = None
+        elif supervise is True:
+            self.supervise_config = SupervisorConfig()
+        elif supervise is None:
+            self.supervise_config = (
+                SupervisorConfig()
+                if exec_faults is not None and exec_faults.any_faults
+                else None
+            )
+        else:
+            self.supervise_config = supervise
+        self._supervisor = None
+        #: how the last ``run`` executed ("parallel" | "degraded" |
+        #: "serial-fallback" | "serial"); tests and telemetry read this
         self.last_mode = "serial"
+        #: supervision outcome of the last run (a
+        #: :meth:`~repro.exec.supervise.SupervisionStats.to_dict`), or None
+        #: when the last run was unsupervised
+        self.last_supervision: dict[str, int] | None = None
+        self._last_degraded = False
         #: per-chunk task dicts from the last parallel run (worker lanes for
         #: the ``repro top`` dashboard)
         self.last_tasks: list[dict[str, Any]] = []
@@ -93,6 +124,8 @@ class ExecutionBackend:
         engine = get_traverser(traverser) if isinstance(traverser, str) else traverser
         targets = Traverser._resolve_targets(tree, targets)
         chunks = self._chunk(tree, targets, decomposition)
+        self.last_supervision = None
+        self._last_degraded = False
         if not self.parallel or self.workers <= 1 or len(chunks) <= 1:
             return self._serial(engine, tree, visitor, targets, recorder, mode="serial")
         forks = None
@@ -113,7 +146,10 @@ class ExecutionBackend:
         if forks is not None:
             for fork in forks:
                 recorder.absorb(fork)
-        self.last_mode = "parallel"
+        # "degraded" = the run completed but supervision had to intervene
+        # (retry / redispatch / worker death / quarantine); surfaced through
+        # IterationReport and `repro top` so operators see it.
+        self.last_mode = "degraded" if self._last_degraded else "parallel"
         self._record_run(len(chunks), len(targets))
         return stats
 
@@ -143,6 +179,27 @@ class ExecutionBackend:
         raise NotImplementedError
 
     # -- shared helpers -----------------------------------------------------
+    def _make_supervisor(self):
+        """The (persistent) :class:`~repro.exec.supervise.ChunkSupervisor`
+        for this backend, or None when supervision is off.  Persisting it
+        across runs lets the latency-seeded deadline tighten as chunk
+        durations accumulate."""
+        cfg = self.supervise_config
+        if cfg is None or not cfg.enabled:
+            return None
+        if self._supervisor is None or self._supervisor.config is not cfg:
+            from .supervise import ChunkSupervisor
+
+            self._supervisor = ChunkSupervisor(
+                cfg, self.name, cancel_abandoned=self.supervisor_cancels
+            )
+        return self._supervisor
+
+    def _finish_supervised(self, sup_stats) -> None:
+        """Publish one supervised run's outcome (called by subclasses)."""
+        self.last_supervision = sup_stats.to_dict()
+        self._last_degraded = sup_stats.degraded
+
     def _chunk(self, tree: Tree, targets: np.ndarray, decomposition) -> list[np.ndarray]:
         from .chunking import chunk_targets
 
@@ -222,8 +279,10 @@ class SerialBackend(ExecutionBackend):
     name = "serial"
     parallel = False
 
-    def __init__(self, workers: int | None = None) -> None:
-        super().__init__(workers=1)
+    def __init__(self, workers: int | None = None, supervise=None,
+                 exec_faults=None) -> None:
+        # serial runs in-parent: nothing to supervise, nothing to inject
+        super().__init__(workers=1, supervise=False, exec_faults=None)
 
     def shutdown(self) -> None:
         pass

@@ -18,7 +18,9 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import signal
 import time
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any
 
@@ -37,8 +39,9 @@ _TREE_FIELDS = (
     "box_lo", "box_hi", "level", "key",
 )
 
-#: worker-side cache of attached arenas/trees, keyed by shm segment name
-_WORKER_TREES: dict[str, tuple[Any, Tree, dict[str, np.ndarray]]] = {}
+#: worker-side LRU cache of attached arenas/trees, keyed by shm segment
+#: name: most-recently-used at the end, evictions from the front
+_WORKER_TREES: OrderedDict[str, tuple[Any, Tree, dict[str, np.ndarray]]] = OrderedDict()
 _WORKER_CACHE_LIMIT = 2
 
 
@@ -56,9 +59,10 @@ def _attach_tree(handle, meta) -> tuple[Tree, dict[str, np.ndarray], bool]:
     name = handle[0]
     cached = _WORKER_TREES.get(name)
     if cached is not None:
+        _WORKER_TREES.move_to_end(name)
         return cached[1], cached[2], True
     while len(_WORKER_TREES) >= _WORKER_CACHE_LIMIT:
-        _, (old_arena, _, _) = _WORKER_TREES.popitem()
+        _, (old_arena, _, _) = _WORKER_TREES.popitem(last=False)  # true LRU
         old_arena.close()
     arena = attach_arena(handle)
     from ..particles import ParticleSet
@@ -89,6 +93,9 @@ def _worker_run(
     chunk: np.ndarray,
     fork: Recorder | None,
     record_latency: bool = False,
+    exec_faults=None,
+    chunk_index: int = 0,
+    attempt: int = 0,
 ):
     """Module-level worker entry point (must be picklable by reference).
 
@@ -99,6 +106,10 @@ def _worker_run(
     """
     t0 = time.perf_counter()
     tree, vis_arrays, cache_hit = _attach_tree(handle, meta)
+    if exec_faults is not None:
+        # injected after attach so a kill leaves a real mid-chunk corpse:
+        # arena mapped, pool worker gone, parent left holding the future
+        exec_faults.apply_in_worker(chunk_index, attempt, in_process=True)
     visitor = visitor_cls.exec_rebuild(tree, vis_arrays, config)
     stats = get_traverser(engine_name)._traverse(tree, visitor, chunk, fork)
     outputs = visitor.exec_collect(tree, chunk)
@@ -114,14 +125,22 @@ class ProcessBackend(ExecutionBackend):
     """Run chunks on a persistent fork-context :class:`ProcessPoolExecutor`."""
 
     name = "processes"
+    supervisor_cancels = False
 
-    def __init__(self, workers: int | None = None, start_method: str | None = None) -> None:
-        super().__init__(workers)
+    def __init__(self, workers: int | None = None, start_method: str | None = None,
+                 supervise=None, exec_faults=None) -> None:
+        super().__init__(workers, supervise=supervise, exec_faults=exec_faults)
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
         self.start_method = start_method
         self._pool: ProcessPoolExecutor | None = None
+        #: bumped on every pool rebuild; tagged into arena segment names so
+        #: the orphan sweeper can tell live generations from dead ones
+        self._generation = 0
+        #: a deadline fired: a worker may be wedged mid-chunk, so shutdown
+        #: must SIGKILL instead of joining
+        self._hang_suspected = False
 
     def _supports(self, visitor: Any) -> bool:
         # Processes need the full exec protocol: shared arrays out, config
@@ -136,6 +155,20 @@ class ProcessBackend(ExecutionBackend):
             )
         return self._pool
 
+    def _pack_arena(self, tree: Tree, visitor: Any) -> tuple[ShmArena, dict]:
+        shared: dict[str, np.ndarray] = {}
+        for f in _TREE_FIELDS:
+            shared[f"tree.{f}"] = getattr(tree, f)
+        for f in tree.particles.field_names:
+            shared[f"part.{f}"] = tree.particles[f]
+        for k, v in visitor.exec_arrays().items():
+            shared[f"vis.{k}"] = v
+        meta = {"tree_type": tree.tree_type, "bucket_size": tree.bucket_size}
+        arena = ShmArena(
+            shared, name_prefix=f"repro-{os.getpid()}-g{self._generation}"
+        )
+        return arena, meta
+
     def _run_chunks(
         self,
         engine: Traverser,
@@ -145,17 +178,14 @@ class ProcessBackend(ExecutionBackend):
         forks: list[Recorder] | None,
         shared_cache=None,
     ) -> TraversalStats:
+        supervisor = self._make_supervisor()
+        if supervisor is not None:
+            return self._run_supervised(
+                supervisor, engine, tree, visitor, chunks, forks
+            )
         pool = self._ensure_pool()
-        shared: dict[str, np.ndarray] = {}
-        for f in _TREE_FIELDS:
-            shared[f"tree.{f}"] = getattr(tree, f)
-        for f in tree.particles.field_names:
-            shared[f"part.{f}"] = tree.particles[f]
-        for k, v in visitor.exec_arrays().items():
-            shared[f"vis.{k}"] = v
-        meta = {"tree_type": tree.tree_type, "bucket_size": tree.bucket_size}
+        arena, meta = self._pack_arena(tree, visitor)
         config = visitor.exec_config()
-        arena = ShmArena(shared)
         record_latency = get_telemetry().enabled
         submit = time.perf_counter()
         try:
@@ -163,7 +193,7 @@ class ProcessBackend(ExecutionBackend):
                 pool.submit(
                     _worker_run, arena.handle, meta, engine.name,
                     type(visitor), config, c, forks[i] if forks else None,
-                    record_latency,
+                    record_latency, self.exec_faults, i, 0,
                 )
                 for i, c in enumerate(chunks)
             ]
@@ -207,6 +237,110 @@ class ProcessBackend(ExecutionBackend):
         self._record_tasks(tasks)
         return total
 
+    def _run_supervised(
+        self,
+        supervisor,
+        engine: Traverser,
+        tree: Tree,
+        visitor: Any,
+        chunks: list[np.ndarray],
+        forks: list[Recorder] | None,
+    ) -> TraversalStats:
+        """Supervised dispatch: wait-with-timeout collection, bounded chunk
+        retry, and automatic pool rebuild after worker death.
+
+        Retry safety comes from the exec protocol itself: every attempt
+        ships a fresh recorder fork and rebuilds its own worker-local
+        visitor over the read-only arena, so a killed/expired attempt
+        leaves no partial state in the parent; the winning attempt's
+        outputs are applied exactly once, in chunk order.
+        """
+        arena, meta = self._pack_arena(tree, visitor)
+        arrays = visitor.exec_arrays()
+        config = visitor.exec_config()
+        record_latency = get_telemetry().enabled
+        exec_faults = self.exec_faults
+
+        def submit(i: int, attempt: int):
+            fork = forks[i].fork() if forks is not None else None
+            return self._ensure_pool().submit(
+                _worker_run, arena.handle, meta, engine.name,
+                type(visitor), config, chunks[i], fork,
+                record_latency, exec_faults, i, attempt,
+            )
+
+        def serial_exec(i: int):
+            # quarantine: in-parent from the parent's own arrays — no pool,
+            # no shm attach, no injection, cannot fail the way workers do
+            t0 = time.perf_counter()
+            vis = type(visitor).exec_rebuild(tree, arrays, config)
+            fork = forks[i].fork() if forks is not None else None
+            stats = get_traverser(engine.name)._traverse(tree, vis, chunks[i], fork)
+            outputs = vis.exec_collect(tree, chunks[i])
+            t1 = time.perf_counter()
+            lat = None
+            if record_latency:
+                lat = Log2Histogram()
+                lat.observe(t1 - t0)
+            return stats, outputs, fork, t0, t1, os.getpid(), None, lat
+
+        submit_mark = time.perf_counter()
+        try:
+            results, sup_stats = supervisor.run(
+                len(chunks), submit, serial_exec, rebuild=self._rebuild_pool
+            )
+        finally:
+            collect = time.perf_counter()
+            arena.dispose()
+        if sup_stats.deadline_misses:
+            self._hang_suspected = True
+
+        total = TraversalStats()
+        tasks = []
+        lanes: dict[int, int] = {}
+        hits = misses = 0
+        for i, (stats, outputs, fork, t0, t1, pid, cache_hit, lat) in enumerate(results):
+            total.merge(stats)
+            visitor.exec_apply(tree, chunks[i], outputs)
+            if forks is not None and fork is not None:
+                forks[i] = fork  # the winning attempt's fork, absorbed by run()
+            lane = lanes.setdefault(pid, len(lanes))
+            if cache_hit is not None:  # None = quarantined in-parent, no attach
+                if cache_hit:
+                    hits += 1
+                else:
+                    misses += 1
+            offset = 0.0
+            if not (submit_mark <= t0 and t1 <= collect):
+                offset = (submit_mark + collect) / 2.0 - (t0 + t1) / 2.0
+            tasks.append({
+                "chunk": i, "targets": len(chunks[i]),
+                "start": t0 + offset, "end": t1 + offset, "lane": lane,
+                "worker": f"pid-{pid}", "clock_offset": offset,
+                "latency": lat,
+            })
+        self._record_cache(hits, misses)
+        self._finish_supervised(sup_stats)
+        self._record_tasks(tasks)
+        return total
+
+    def _rebuild_pool(self) -> None:
+        """Replace a broken pool: SIGKILL any lingering workers (a hung one
+        would otherwise block executor shutdown), drop the executor without
+        waiting, and bump the arena generation so segments created after
+        the rebuild are distinguishable from the dead generation's."""
+        pool, self._pool = self._pool, None
+        self._generation += 1
+        if pool is None:
+            return
+        for pid, proc in list((getattr(pool, "_processes", None) or {}).items()):
+            if proc.is_alive():
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                except (ProcessLookupError, PermissionError):
+                    pass
+        pool.shutdown(wait=False, cancel_futures=True)
+
     def _record_cache(self, hits: int, misses: int) -> None:
         """Aggregate the workers' per-segment tree cache attach outcomes
         into ``exec.cache.*`` metrics and ``last_cache_stats``."""
@@ -227,8 +361,14 @@ class ProcessBackend(ExecutionBackend):
 
     def shutdown(self) -> None:
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+            if self._hang_suspected:
+                # a worker may be wedged mid-chunk; joining would block on
+                # it, so tear the pool down the same way a rebuild does
+                self._rebuild_pool()
+            else:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+            self._hang_suspected = False
 
 
 register_backend(ProcessBackend.name, ProcessBackend)

@@ -7,15 +7,22 @@ that worker processes turn back into zero-copy views with
 :func:`attach_arena`.  Workers never copy the particle or tree arrays —
 they map the parent's pages read-only, which is the in-process analogue of
 the paper's shared Subtree memory.
+
+Segments are named ``<prefix>-<owner pid>-g<generation>-<nonce>`` so a
+crashed owner leaves forensically attributable corpses:
+:func:`sweep_orphan_segments` scans ``/dev/shm`` for segments whose owner
+pid is dead and unlinks them (``repro audit --shm``).
 """
 
 from __future__ import annotations
 
+import os
+import secrets
 from multiprocessing import shared_memory
 
 import numpy as np
 
-__all__ = ["ShmArena", "AttachedArena", "attach_arena"]
+__all__ = ["ShmArena", "AttachedArena", "attach_arena", "sweep_orphan_segments"]
 
 #: byte alignment of each array inside the block (cache-line friendly)
 _ALIGN = 64
@@ -37,7 +44,7 @@ class ShmArena:
     until they drop them (POSIX semantics).
     """
 
-    def __init__(self, arrays: dict[str, np.ndarray], name_prefix: str = "repro") -> None:
+    def __init__(self, arrays: dict[str, np.ndarray], name_prefix: str | None = None) -> None:
         specs: dict[str, tuple[int, str, tuple[int, ...]]] = {}
         offset = 0
         contiguous = {k: np.ascontiguousarray(v) for k, v in arrays.items()}
@@ -45,7 +52,20 @@ class ShmArena:
             offset = _aligned(offset)
             specs[name] = (offset, arr.dtype.str, arr.shape)
             offset += arr.nbytes
-        self._shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        if name_prefix is None:
+            name_prefix = f"repro-{os.getpid()}-g0"
+        self._shm = None
+        for _ in range(16):
+            name = f"{name_prefix}-{secrets.token_hex(4)}"
+            try:
+                self._shm = shared_memory.SharedMemory(
+                    name=name, create=True, size=max(offset, 1)
+                )
+                break
+            except FileExistsError:  # pragma: no cover - 1-in-2^32 per draw
+                continue
+        if self._shm is None:  # pragma: no cover - defensive
+            raise RuntimeError(f"could not allocate shm segment under {name_prefix!r}")
         for name, arr in contiguous.items():
             off, _, _ = specs[name]
             dst = np.ndarray(arr.shape, dtype=arr.dtype, buffer=self._shm.buf, offset=off)
@@ -92,11 +112,18 @@ class AttachedArena:
         finally:
             resource_tracker.register = orig_register
         self.arrays: dict[str, np.ndarray] = {}
-        for arr_name, (offset, dtype, shape) in specs.items():
-            view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=self._shm.buf,
-                              offset=offset)
-            view.flags.writeable = False
-            self.arrays[arr_name] = view
+        try:
+            for arr_name, (offset, dtype, shape) in specs.items():
+                view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=self._shm.buf,
+                                  offset=offset)
+                view.flags.writeable = False
+                self.arrays[arr_name] = view
+        except Exception:
+            # a handle/segment mismatch mid-attach (truncated segment, bad
+            # spec) must not leak the mapping — the worker cache never saw
+            # this arena, so nobody else will close it
+            self.close()
+            raise
 
     def close(self) -> None:
         if self._shm is not None:
@@ -108,3 +135,64 @@ class AttachedArena:
 def attach_arena(handle: Handle) -> AttachedArena:
     """Attach to an owner's segment (worker-process entry point)."""
     return AttachedArena(handle)
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, owned by other user
+        return True
+    return True
+
+
+def sweep_orphan_segments(
+    prefix: str = "repro", shm_dir: str = "/dev/shm", dry_run: bool = False
+) -> list[dict[str, object]]:
+    """Find and unlink arena segments whose owning process is dead.
+
+    A SIGKILLed (or OOM-killed) parent never reaches :meth:`ShmArena.dispose`,
+    so its segments persist in ``/dev/shm`` until reboot.  Every arena name
+    embeds the owner pid (``<prefix>-<pid>-g<gen>-<nonce>``); a segment whose
+    pid no longer exists is an orphan by construction.  Segments owned by
+    live pids are reported but never touched.  Returns one record per
+    matching segment:
+    ``{"name", "pid", "generation", "bytes", "orphan", "removed"}``.
+    """
+    records: list[dict[str, object]] = []
+    try:
+        entries = os.listdir(shm_dir)
+    except FileNotFoundError:  # pragma: no cover - non-Linux
+        return records
+    for entry in sorted(entries):
+        parts = entry.split("-")
+        # <prefix>-<pid>-g<gen>-<nonce>
+        if len(parts) != 4 or parts[0] != prefix:
+            continue
+        if not (parts[1].isdigit() and parts[2].startswith("g")
+                and parts[2][1:].isdigit()):
+            continue
+        pid = int(parts[1])
+        try:
+            size = os.stat(os.path.join(shm_dir, entry)).st_size
+        except OSError:  # pragma: no cover - raced with owner disposal
+            continue
+        orphan = not _pid_alive(pid)
+        removed = False
+        if orphan and not dry_run:
+            try:
+                seg = shared_memory.SharedMemory(name=entry)
+            except FileNotFoundError:  # pragma: no cover - raced
+                continue
+            seg.close()
+            try:
+                seg.unlink()
+                removed = True
+            except FileNotFoundError:  # pragma: no cover - raced
+                pass
+        records.append({
+            "name": entry, "pid": pid, "generation": int(parts[2][1:]),
+            "bytes": size, "orphan": orphan, "removed": removed,
+        })
+    return records

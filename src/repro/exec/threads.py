@@ -75,13 +75,17 @@ class ThreadBackend(ExecutionBackend):
 
     name = "threads"
 
-    def __init__(self, workers: int | None = None, cache_warm_fills: int = 32) -> None:
-        super().__init__(workers)
+    def __init__(self, workers: int | None = None, cache_warm_fills: int = 32,
+                 supervise=None, exec_faults=None) -> None:
+        super().__init__(workers, supervise=supervise, exec_faults=exec_faults)
         self.cache_warm_fills = cache_warm_fills
         self._pool: ThreadPoolExecutor | None = None
         self._pool_lock = threading.Lock()
         #: (issued, invoked) totals from the last run's cache warming
         self.last_cache_warm = (0, 0)
+        #: a deadline fired at least once: hung worker threads may still be
+        #: sleeping inside the pool, so shutdown must not join them
+        self._hang_suspected = False
 
     def _supports(self, visitor: Any) -> bool:
         if getattr(visitor, "exec_shareable", False):
@@ -106,6 +110,17 @@ class ThreadBackend(ExecutionBackend):
         shared_cache=None,
     ) -> TraversalStats:
         pool = self._ensure_pool()
+        # Supervised dispatch needs retry-safe attempts: every attempt must
+        # rebuild a fresh visitor (the shared-instance path accumulates into
+        # the parent visitor, so a retried chunk would double-apply).  That
+        # requires the full exec protocol; a shareable-only visitor runs on
+        # the unsupervised path even when supervision is configured.
+        supervisor = self._make_supervisor()
+        if (supervisor is not None
+                and getattr(visitor, "exec_config", lambda: None)() is not None):
+            return self._run_supervised(
+                supervisor, engine, tree, visitor, chunks, forks, shared_cache
+            )
         shareable = getattr(visitor, "exec_shareable", False)
         chunk_visitors: list[Any] | None = None
         if not shareable:
@@ -119,6 +134,10 @@ class ThreadBackend(ExecutionBackend):
 
         def task(i: int, chunk: np.ndarray):
             t0 = time.perf_counter()
+            if self.exec_faults is not None:
+                # unsupervised + faults is the "demonstrably fails" path:
+                # the exception propagates out of run() unhandled
+                self.exec_faults.apply_in_worker(i, 0, in_process=False)
             warm = (0, 0)
             if shared_cache is not None:
                 warm = warm_shared_cache(shared_cache, self.cache_warm_fills)
@@ -162,11 +181,88 @@ class ThreadBackend(ExecutionBackend):
         self._record_tasks(tasks)
         return total
 
+    def _run_supervised(
+        self,
+        supervisor,
+        engine: Traverser,
+        tree: Tree,
+        visitor: Any,
+        chunks: list[np.ndarray],
+        forks: list[Recorder] | None,
+        shared_cache=None,
+    ) -> TraversalStats:
+        """Supervised dispatch: per-attempt rebuilt visitors and forks, so
+        a failed/expired attempt leaves no partial state and the winning
+        attempt's outputs are applied exactly once, in chunk order."""
+        arrays = visitor.exec_arrays()
+        config = visitor.exec_config()
+        record_latency = get_telemetry().enabled
+        exec_faults = self.exec_faults
+
+        def compute(i: int, attempt: int, inject: bool):
+            t0 = time.perf_counter()
+            if inject and exec_faults is not None:
+                exec_faults.apply_in_worker(i, attempt, in_process=False)
+            warm = (0, 0)
+            if shared_cache is not None:
+                warm = warm_shared_cache(shared_cache, self.cache_warm_fills)
+            vis = type(visitor).exec_rebuild(tree, arrays, config)
+            fork = forks[i].fork() if forks is not None else None
+            stats = get_traverser(engine.name)._traverse(
+                tree, vis, chunks[i], fork
+            )
+            outputs = vis.exec_collect(tree, chunks[i])
+            t1 = time.perf_counter()
+            lat = None
+            if record_latency:
+                lat = Log2Histogram()
+                lat.observe(t1 - t0)
+            return stats, outputs, fork, warm, t0, t1, threading.get_ident(), lat
+
+        def submit(i: int, attempt: int):
+            return self._ensure_pool().submit(compute, i, attempt, True)
+
+        def serial_exec(i: int):
+            # quarantine: in-parent, no pool, no injection
+            return compute(i, -1, False)
+
+        results, sup_stats = supervisor.run(len(chunks), submit, serial_exec)
+        if sup_stats.deadline_misses:
+            self._hang_suspected = True
+
+        total = TraversalStats()
+        warm_issued = warm_invoked = 0
+        tasks = []
+        lanes: dict[int, int] = {}
+        for i, (stats, outputs, fork, warm, t0, t1, ident, lat) in enumerate(results):
+            total.merge(stats)
+            warm_issued += warm[0]
+            warm_invoked += warm[1]
+            visitor.exec_apply(tree, chunks[i], outputs)
+            if forks is not None and fork is not None:
+                forks[i] = fork  # the winning attempt's fork, absorbed by run()
+            lane = lanes.setdefault(ident, len(lanes))
+            tasks.append({
+                "chunk": i, "targets": len(chunks[i]),
+                "start": t0, "end": t1, "lane": lane, "worker": f"thread-{lane}",
+                "latency": lat,
+            })
+        self.last_cache_warm = (warm_issued, warm_invoked)
+        self._finish_supervised(sup_stats)
+        self._record_tasks(tasks)
+        return total
+
     def shutdown(self) -> None:
         with self._pool_lock:
             if self._pool is not None:
-                self._pool.shutdown(wait=True)
+                # A worker stuck in an injected hang cannot be joined; drop
+                # the pool without waiting so failed runs never wedge
+                # shutdown (the sleeping thread exits on its own).
+                self._pool.shutdown(
+                    wait=not self._hang_suspected, cancel_futures=True
+                )
                 self._pool = None
+                self._hang_suspected = False
 
 
 register_backend(ThreadBackend.name, ThreadBackend)

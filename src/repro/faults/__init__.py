@@ -22,6 +22,12 @@ against real threads).  See ``docs/robustness.md`` for the full model.
 
 from .plan import FaultPlan, NO_FAULTS, parse_fault_spec
 from .injector import FaultCounters, FaultInjector, IterationFailure, as_injector
+from .execfaults import (
+    ExecFaultError,
+    ExecFaultPlan,
+    WorkerDeath,
+    parse_exec_fault_spec,
+)
 
 __all__ = [
     "FaultPlan",
@@ -31,4 +37,8 @@ __all__ = [
     "FaultInjector",
     "IterationFailure",
     "as_injector",
+    "ExecFaultError",
+    "ExecFaultPlan",
+    "WorkerDeath",
+    "parse_exec_fault_spec",
 ]

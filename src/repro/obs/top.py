@@ -80,7 +80,17 @@ class Dashboard:
             meta.append(f"n={snap['n_particles']}")
         if snap.get("throughput"):
             meta.append(f"{snap['throughput']:,.0f} particles/s")
+        if snap.get("degraded"):
+            meta.append("DEGRADED")
         lines.append(self._b(head) + ("   " + self._d(" ".join(meta)) if meta else ""))
+
+        sup = snap.get("supervision") or {}
+        if snap.get("degraded") and sup:
+            acts = "  ".join(f"{k}={v}" for k, v in sup.items() if v)
+            lines.append(
+                self._b("exec degraded") + "  "
+                + (acts or "recovery actions fired")
+            )
 
         phases: dict[str, float] = snap.get("phases") or {}
         if phases:

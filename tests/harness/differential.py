@@ -187,16 +187,24 @@ def run_combination(
     workers: int = 1,
     record: bool = False,
     decomposition=None,
+    backend_opts: dict[str, Any] | None = None,
 ) -> RunResult:
-    """Run one (engine, backend, workers) combination and package results."""
+    """Run one (engine, backend, workers) combination and package results.
+
+    ``backend_opts`` passes through to :func:`~repro.exec.get_backend`
+    (e.g. ``supervise=...`` / ``exec_faults=...`` for fault-recovery
+    differential runs); the backend's supervision outcome, when any, lands
+    in ``RunResult.extra["supervision"]``.
+    """
     visitor = make_visitor(tree)
     recorder = InteractionLists() if record else None
-    b = get_backend(backend, workers=workers)
+    b = get_backend(backend, workers=workers, **(backend_opts or {}))
     try:
         stats = b.run(
             tree, engine, visitor, recorder=recorder, decomposition=decomposition
         )
         mode = b.last_mode
+        supervision = b.last_supervision
     finally:
         b.shutdown()
     as_dict = stats.as_dict()
@@ -207,6 +215,7 @@ def run_combination(
         stats=stats,
         lists=recorder,
         mode=mode,
+        extra={"supervision": supervision} if supervision is not None else {},
     )
 
 
