@@ -816,6 +816,7 @@ def cmd_obs(args) -> int:
     from .obs import (
         format_flight_dump,
         load_flight_dump,
+        validate_attribution,
         validate_chrome_trace,
         validate_flight_dump,
         validate_slo_report,
@@ -845,6 +846,9 @@ def cmd_obs(args) -> int:
         problems = validate_chrome_trace(
             doc, require_exec_tasks=args.require_exec_tasks)
         kind = f"trace ({len(doc.get('traceEvents', []))} events)"
+    elif args.obs_cmd == "validate-attr":
+        problems = validate_attribution(doc)
+        kind = f"attribution profile ({doc.get('n_nodes', '?')} nodes)"
     else:  # validate-slo
         problems = validate_slo_report(doc)
         kind = "SLO report"
@@ -854,6 +858,156 @@ def cmd_obs(args) -> int:
             print(f"  {prob}")
         return 1
     print(f"{kind} ok: {args.path}")
+    return 0
+
+
+def cmd_explain(args) -> int:
+    """Attributed gravity iteration + causal what-if report.
+
+    Runs one (or more) Driver iterations with per-node attribution on,
+    then prints where the traversal cost concentrates (hot subtrees),
+    which partitions cause the cache misses (ghost-layer guidance), how
+    the exec chunks balanced, the DES critical path, and a battery of
+    causal what-if predictions replayed over the recorded event graph.
+    """
+    import json
+
+    from .apps.gravity import GravityDriver
+    from .core import Configuration
+    from .obs import (
+        Telemetry, chrome_trace, format_chunk_heatmap,
+        set_telemetry, validate_attribution,
+    )
+    from .particles import clustered_clumps
+    from .perf import format_whatifs, parse_whatif, standard_whatifs, what_if
+    from .perf.whatif import VirtualSpeedup
+    from .runtime import simulate_traversal, workload_from_traversal
+
+    p = clustered_clumps(args.n, seed=args.seed)
+    cfg = Configuration(
+        num_iterations=args.iterations, tree_type=args.tree,
+        bucket_size=args.bucket, traverser=args.traverser,
+        num_partitions=args.partitions, num_subtrees=args.partitions,
+    )
+
+    class Main(GravityDriver):
+        def create_particles(self, config):
+            return p
+
+    driver = Main(cfg, theta=args.theta)
+    telemetry = Telemetry()
+    set_telemetry(telemetry)
+    driver.enable_telemetry(telemetry)
+    driver.enable_attribution()
+    _enable_parallel_from_args(driver, args)
+    t0 = time.time()
+    try:
+        driver.run()
+    finally:
+        driver.disable_parallel()
+        set_telemetry(None)
+    wall = time.time() - t0
+    tree = driver.tree
+
+    # merge the attributed iterations into one profile
+    profiles = driver.attribution_profiles
+    profile = profiles[0]
+    for extra in profiles[1:]:
+        profile.merge(extra)
+    totals = profile.totals()
+    print(f"attributed {args.iterations} gravity iteration(s), n={args.n}, "
+          f"backend={args.backend}, {wall:.2f}s wall")
+    print(f"  visits={totals['visits']:,}  mac_accepts={totals['mac_accepts']:,}"
+          f"  pn_pairs={totals['pn_pairs']:,}  pp_pairs={totals['pp_pairs']:,}"
+          f"  est cost {totals['cost_ns'] / 1e6:.3f} ms")
+
+    print(f"\nhot subtrees (depth<={args.depth}, top {args.top}):")
+    print(f"  {'node':>6} {'lvl':>3} {'parts':>6} {'cost':>12} {'share':>7} "
+          f"{'visits':>9} {'pp':>12} {'pn':>12}")
+    for row in profile.subtree_rollup(tree, depth=args.depth, top=args.top):
+        print(f"  {row['node']:>6} {row['level']:>3} {row['particles']:>6} "
+              f"{row['cost_ns'] / 1e6:>10.3f}ms {row['cost_frac']:>7.1%} "
+              f"{row['visits']:>9,} {row['pp_pairs']:>12,} {row['pn_pairs']:>12,}")
+
+    if profile.cache:
+        c = profile.cache
+        print(f"\ncache-miss attribution ({c['n_processes']} simulated "
+              f"processes, {c['total_remote_touches']:,} remote touches, "
+              f"{c['total_bytes'] / 1e6:.2f} MB):")
+        for row in c["partitions"][:args.top]:
+            tops = ", ".join(f"st{t['subtree']}×{t['touches']}"
+                             for t in row["top_subtrees"])
+            print(f"  partition {row['partition']:>3} (proc {row['process']}): "
+                  f"{row['touches']:>7,} touches, {row['unique_groups']:>5} "
+                  f"groups, {row['bytes'] / 1e3:>8.1f} kB   <- {tops}")
+        print("  (partitions concentrating on few foreign subtrees are "
+              "ghost-layer candidates)")
+
+    print()
+    print(format_chunk_heatmap(profile.chunks))
+
+    # DES replay of the recorded traversal: critical path + causal what-if
+    lists = driver.last_interaction_lists
+    whatifs = []
+    null_ok = None
+    res = None
+    if lists is not None and lists.visited and driver.decomposition is not None:
+        wl = workload_from_traversal(
+            tree, driver.decomposition, lists,
+            nodes_per_request=cfg.nodes_per_request,
+            shared_branch_levels=cfg.shared_branch_levels,
+        )
+        res = simulate_traversal(wl, n_processes=cfg.num_partitions,
+                                 critical_path=True, collect_trace=True)
+        print()
+        print(res.critical_path.format())
+        null = what_if(res.cp_graph, res.time, VirtualSpeedup(1.0))
+        null_ok = null.predicted == res.time
+        print(f"  null speedup (×1.0) reproduces makespan exactly: {null_ok} "
+              f"({null.predicted:.9g}s vs {res.time:.9g}s)")
+        whatifs = standard_whatifs(res.cp_graph, res.time)
+        for spec in args.whatif or ():
+            try:
+                whatifs.append(what_if(res.cp_graph, res.time, parse_whatif(spec)))
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        whatifs.sort(key=lambda r: r.predicted)
+        print()
+        print(format_whatifs(whatifs, res.time))
+    else:
+        print("\n(no interaction lists recorded: skipping DES what-if replay)")
+
+    if args.json:
+        doc = profile.to_dict(tree, depth=args.depth, top=args.top)
+        if res is not None:
+            doc["critical_path"] = res.critical_path.to_dict()
+            doc["whatif"] = [r.to_dict() for r in whatifs]
+            doc["null_speedup_exact"] = bool(null_ok)
+        problems = validate_attribution(doc)
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh)
+        print(f"\nwrote attribution profile to {args.json}"
+              + (f" ({len(problems)} validation problem(s)!)" if problems else ""))
+        if problems:
+            for prob in problems:
+                print(f"  problem: {prob}", file=sys.stderr)
+            return 1
+
+    if args.trace:
+        doc = chrome_trace(telemetry, command="explain")
+        events = doc["traceEvents"]
+        ts = max((e.get("ts", 0) + e.get("dur", 0) for e in events), default=0)
+        events.extend(profile.counter_events(ts=ts, tree=tree, depth=args.depth))
+        with open(args.trace, "w") as fh:
+            json.dump(doc, fh)
+        print(f"wrote {len(events)} trace events (with attribution counter "
+              f"tracks) to {args.trace}")
+
+    if null_ok is False:
+        print("error: null-speedup replay diverged from the DES makespan",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -1113,6 +1267,41 @@ def main(argv=None) -> int:
                          help="schema checks on an SLO report JSON")
     ov.add_argument("path")
     ov.set_defaults(fn=cmd_obs)
+    oa = osub.add_parser("validate-attr",
+                         help="schema + invariant checks on a repro.attr/1 "
+                              "attribution profile (repro explain --json)")
+    oa.add_argument("path")
+    oa.set_defaults(fn=cmd_obs)
+
+    e = sub.add_parser(
+        "explain",
+        help="traversal attribution & causal what-if profiler: hot "
+             "subtrees, per-partition cache misses, chunk imbalance, "
+             "critical path, and predicted makespan deltas")
+    _add_common(e, 8_000)
+    e.add_argument("--theta", type=float, default=0.7)
+    e.add_argument("--traverser", default="transposed",
+                   choices=["transposed", "per-bucket", "up-and-down"])
+    e.add_argument("--iterations", type=int, default=1)
+    e.add_argument("--partitions", type=int, default=8,
+                   help="partitions / simulated processes for the cache and "
+                        "DES attributions")
+    e.add_argument("--depth", type=int, default=3, metavar="D",
+                   help="subtree rollup depth cutoff (default 3)")
+    e.add_argument("--top", type=int, default=8, metavar="K",
+                   help="rows per table (default 8)")
+    e.add_argument("--whatif", action="append", metavar="SPEC",
+                   help="extra virtual speedup to evaluate, e.g. "
+                        "'latency ×0.5' or 'kind=compute,resource=p3/* *0.8' "
+                        "(repeatable)")
+    e.add_argument("--json", metavar="PATH", default=None,
+                   help="write the full repro.attr/1 profile (validate with "
+                        "`repro obs validate-attr`)")
+    e.add_argument("--trace", metavar="PATH", default=None,
+                   help="write a Perfetto trace with attribution counter "
+                        "tracks alongside the spans")
+    _add_parallel(e)
+    e.set_defaults(fn=cmd_explain)
 
     t = sub.add_parser("top", help="live terminal dashboard")
     t.add_argument("source",

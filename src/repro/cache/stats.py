@@ -20,7 +20,8 @@ from ..decomp import Decomposition
 from ..trees import Tree
 from .models import CacheModel
 
-__all__ = ["FetchGroups", "FetchStats", "assign_fetch_groups", "fetch_statistics"]
+__all__ = ["FetchGroups", "FetchStats", "assign_fetch_groups",
+           "fetch_statistics", "miss_attribution"]
 
 #: Serialized bytes per tree node (key, box, moments — ChaNGa-like ~200B).
 NODE_BYTES = 200
@@ -206,29 +207,89 @@ def fetch_statistics(
     )
 
 
-def _leaf_partition(tree: Tree, decomp: Decomposition) -> np.ndarray:
-    """Majority-owner partition per leaf (split buckets are rare, §II-C-1).
+def miss_attribution(
+    tree: Tree,
+    lists: InteractionLists,
+    decomp: Decomposition,
+    groups: FetchGroups,
+    n_processes: int,
+) -> dict:
+    """Per-partition cache-miss attribution (the ghost-layer guide).
 
-    One ``np.bincount`` over a combined (leaf, partition) key replaces the
-    per-leaf ``np.unique`` loop; ties break toward the smallest partition
-    id, exactly like ``np.unique`` + ``argmax`` did.
+    :func:`fetch_statistics` answers *how much* each process fetches;
+    this answers *which partitions* cause it and *from which subtrees* —
+    exactly the information a ghost-layer policy needs: a partition whose
+    remote touches concentrate on one or two foreign subtrees wants those
+    subtrees' boundary bands replicated locally (Burstedde's AMR ghost
+    layers; ROADMAP item 3).
+
+    Deterministic by construction: buckets are processed in sorted leaf
+    order and everything accumulated is an integer count or an exact sum
+    of fixed group sizes.  Returns a JSON-ready dict with one row per
+    partition that touched remote data, each with its top foreign
+    subtrees, plus a per-node remote-touch array for heat-mapping.
     """
-    out = np.zeros(tree.n_nodes, dtype=np.int64)
-    pp = np.asarray(decomp.particle_partition, dtype=np.int64)
-    leaves = tree.leaf_indices
-    if len(leaves) == 0:
-        return out
-    starts = tree.pstart[leaves].astype(np.int64)
-    ends = tree.pend[leaves].astype(np.int64)
-    lengths = ends - starts
-    # Particle positions of every leaf, concatenated, with the owning
-    # leaf's rank alongside.
-    idx = np.repeat(starts - np.concatenate(([0], np.cumsum(lengths)[:-1])), lengths) \
-        + np.arange(int(lengths.sum()), dtype=np.int64)
-    leaf_rank = np.repeat(np.arange(len(leaves), dtype=np.int64), lengths)
-    n_parts = int(pp.max()) + 1 if pp.size else 1
-    counts = np.bincount(
-        leaf_rank * n_parts + pp[idx], minlength=len(leaves) * n_parts
-    ).reshape(len(leaves), n_parts)
-    out[leaves] = np.argmax(counts, axis=1)
-    return out
+    n_parts = len(decomp.partitions)
+    leaf_part = _leaf_partition(tree, decomp)
+    part_proc = (np.arange(n_parts, dtype=np.int64) * n_processes) // n_parts
+    n_subtrees = len(decomp.subtrees)
+    st_proc = (np.arange(n_subtrees, dtype=np.int64) * n_processes) // n_subtrees
+
+    touches = np.zeros(n_parts, dtype=np.int64)
+    unique_groups: list[set[int]] = [set() for _ in range(n_parts)]
+    bytes_in = np.zeros(n_parts, dtype=np.float64)
+    # (partition, foreign subtree) -> remote touches
+    part_subtree = np.zeros((n_parts, n_subtrees), dtype=np.int64)
+    node_remote = np.zeros(tree.n_nodes, dtype=np.int64)
+
+    for leaf, visited in sorted(lists.visited.items()):
+        part = int(leaf_part[leaf])
+        proc = int(part_proc[part])
+        for node in visited:
+            g = int(groups.group_of_node[node])
+            if g < 0:
+                continue  # shared branch: replicated everywhere
+            st = int(groups.group_subtree[g])
+            if int(st_proc[st]) == proc:
+                continue  # subtree lives on this partition's process
+            touches[part] += 1
+            part_subtree[part, st] += 1
+            node_remote[node] += 1
+            if g not in unique_groups[part]:
+                unique_groups[part].add(g)
+                bytes_in[part] += groups.group_bytes[g]
+
+    rows = []
+    for part in range(n_parts):
+        if touches[part] == 0:
+            continue
+        foreign = part_subtree[part]
+        top = np.argsort(-foreign, kind="stable")[:3]
+        rows.append({
+            "partition": part,
+            "process": int(part_proc[part]),
+            "touches": int(touches[part]),
+            "unique_groups": len(unique_groups[part]),
+            "bytes": float(bytes_in[part]),
+            "top_subtrees": [
+                {"subtree": int(st), "touches": int(foreign[st])}
+                for st in top if foreign[st] > 0
+            ],
+        })
+    rows.sort(key=lambda r: (-r["touches"], r["partition"]))
+    return {
+        "n_partitions": n_parts,
+        "n_processes": int(n_processes),
+        "total_remote_touches": int(touches.sum()),
+        "total_unique_groups": int(sum(len(s) for s in unique_groups)),
+        "total_bytes": float(bytes_in.sum()),
+        "partitions": rows,
+        "node_remote_touches": node_remote.tolist(),
+    }
+
+
+def _leaf_partition(tree: Tree, decomp: Decomposition) -> np.ndarray:
+    """Majority-owner partition per leaf — delegates to
+    :meth:`~repro.decomp.Decomposition.leaf_partition` (the rollup now
+    lives with the decomposition, where partition semantics are defined)."""
+    return decomp.leaf_partition()

@@ -62,7 +62,8 @@ class Partitions:
         engine = get_traverser(traverser_name)
         recorders = [
             r
-            for r in (driver._load_recorder, driver._extra_recorder, driver._telemetry_lists)
+            for r in (driver._load_recorder, driver._extra_recorder,
+                      driver._attr_recorder, driver._telemetry_lists)
             if r
         ]
         recorder = _MultiRecorder(recorders) if recorders else None
@@ -173,6 +174,11 @@ class IterationReport:
     #: summed :meth:`~repro.exec.SupervisionStats.to_dict` over this
     #: iteration's supervised backend runs, when any were supervised
     supervision: dict[str, int] | None = None
+    #: compact :meth:`~repro.obs.AttributionProfile.summary` of this
+    #: iteration's traversal attribution (totals, top subtrees, cache-miss
+    #: and chunk-imbalance rollups), when attribution is enabled; the full
+    #: profile lands in ``Driver.attribution_profiles``
+    attribution: dict[str, Any] | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-serializable view (numpy arrays/scalars converted), so
@@ -192,6 +198,7 @@ class IterationReport:
             "latency": _jsonable(self.latency),
             "exec_mode": self.exec_mode,
             "supervision": _jsonable(self.supervision),
+            "attribution": _jsonable(self.attribution),
         }
 
 
@@ -213,6 +220,14 @@ class Driver:
         self._telemetry_lists: InteractionLists | None = None
         self.fault_plan = None
         self.critical_path = False
+        #: per-node/per-bucket traversal attribution (repro explain)
+        self.attribution = False
+        self._attr_recorder = None
+        #: one AttributionProfile per attributed iteration
+        self.attribution_profiles: list[Any] = []
+        #: the last iteration's InteractionLists, retained (when recorded)
+        #: so ``repro explain`` can replay the traversal through the DES
+        self.last_interaction_lists: InteractionLists | None = None
         self._exec_backend = None
         #: per-iteration SharedTreeCache the thread backend's workers warm
         #: concurrently; rebuilt whenever the tree changes
@@ -233,6 +248,8 @@ class Driver:
         self._iter_cache: dict[str, int] | None = None
         self._iter_supervision: dict[str, int] | None = None
         self._iter_exec_mode: str | None = None
+        #: exec chunk-task samples (chunk, lane, dur) for the heatmap
+        self._iter_tasks: list[dict[str, Any]] = []
 
     # -- user hooks ---------------------------------------------------------
     def configure(self, config: Configuration) -> None:
@@ -419,6 +436,31 @@ class Driver:
         # "degraded" is sticky across the iteration's runs
         if self._iter_exec_mode != "degraded":
             self._iter_exec_mode = backend.last_mode
+        for t in backend.last_tasks or ():
+            self._iter_tasks.append({
+                "chunk": int(t.get("chunk", 0)),
+                "lane": int(t.get("lane", 0)),
+                "dur": float(t.get("end", 0.0)) - float(t.get("start", 0.0)),
+            })
+
+    def enable_attribution(self, enabled: bool = True) -> None:
+        """Accumulate per-node/per-bucket traversal attribution.
+
+        Every subsequent iteration attaches an
+        :class:`~repro.obs.AttributionRecorder` to its traversals — flat
+        integer counter arrays indexed by tree-node id (visits, MAC
+        accepts, kernel pairs, a deterministic ns cost estimate), merged
+        across exec workers in chunk order so the arrays are bit-identical
+        for any backend × worker count.  The full
+        :class:`~repro.obs.AttributionProfile` (with cache-miss and
+        chunk-imbalance context) is appended to
+        :attr:`attribution_profiles`; a compact summary lands in
+        :attr:`IterationReport.attribution`.  ``repro explain`` builds its
+        whole report on this.
+        """
+        self.attribution = bool(enabled)
+        if not enabled:
+            self._attr_recorder = None
 
     def enable_critical_path(self, enabled: bool = True) -> None:
         """Attribute each iteration's simulated communication schedule.
@@ -502,6 +544,7 @@ class Driver:
         self._iter_cache = None
         self._iter_supervision = None
         self._iter_exec_mode = None
+        self._iter_tasks = []
         events_before = len(tracer.events)
         t_iter = time.perf_counter()
 
@@ -573,8 +616,15 @@ class Driver:
                 self._load_recorder = BucketLoadRecorder(self.tree) if want_lb else None
                 # Interaction lists feed the telemetry cache statistics and
                 # (when a fault plan is attached) the faulted comm replay.
-                want_lists = tel.enabled or self.fault_plan is not None or self.critical_path
+                want_lists = (tel.enabled or self.fault_plan is not None
+                              or self.critical_path or self.attribution)
                 self._telemetry_lists = InteractionLists() if want_lists else None
+                if self.attribution:
+                    from ..obs import AttributionRecorder
+
+                    self._attr_recorder = AttributionRecorder(self.tree.n_nodes)
+                else:
+                    self._attr_recorder = None
                 self.traversal(iteration)
 
             # 6. Post-traversal physics.
@@ -604,6 +654,10 @@ class Driver:
                 with tracer.span("comm_sim", cat="driver.phase"):
                     comm_sim = self._simulate_comm(iteration)
 
+            attribution = None
+            if self._attr_recorder is not None:
+                attribution = self._build_attribution(iteration)
+
             cache = None
             if self._iter_cache is not None:
                 hits = self._iter_cache["attach_hits"]
@@ -624,23 +678,54 @@ class Driver:
                 comm_sim=comm_sim,
                 wall_time=time.perf_counter() - t_iter,
                 exec_cache=cache,
+                # an empty histogram is reported as count=0 (not dropped),
+                # so consumers can say "n=0" instead of guessing
                 latency=(self._iter_latency.to_dict()
-                         if self._iter_latency is not None
-                         and self._iter_latency.count else None),
+                         if self._iter_latency is not None else None),
                 exec_mode=self._iter_exec_mode,
                 supervision=self._iter_supervision,
+                attribution=attribution,
             )
             self.reports.append(report)
             if tel.enabled:
                 tel.metrics.absorb_iteration_report(report)
                 tel.metrics.latency("driver.iteration.latency").observe(report.wall_time)
                 self._collect_cache_metrics(iteration)
+            self.last_interaction_lists = self._telemetry_lists
             self._telemetry_lists = None
+            self._attr_recorder = None
         if self._status_consumers:
             snap = self._status_snapshot(report, events_before)
             for consumer in self._status_consumers:
                 consumer.update(snap)
         return report
+
+    def _build_attribution(self, iteration: int) -> dict[str, Any]:
+        """Package the iteration's attribution recorder into a full
+        :class:`~repro.obs.AttributionProfile` (kept on
+        :attr:`attribution_profiles`) and return the compact summary for
+        the :class:`IterationReport`."""
+        from ..obs import AttributionProfile
+
+        profile = AttributionProfile.from_recorder(
+            self._attr_recorder, iteration=iteration, chunks=self._iter_tasks,
+        )
+        lists = self._telemetry_lists
+        if lists is not None and lists.visited and self.decomposition is not None:
+            from ..cache.stats import assign_fetch_groups, miss_attribution
+
+            cfg = self.config
+            groups = assign_fetch_groups(
+                self.tree, self.decomposition,
+                nodes_per_request=cfg.nodes_per_request,
+                shared_branch_levels=cfg.shared_branch_levels,
+            )
+            profile.cache = miss_attribution(
+                self.tree, lists, self.decomposition, groups,
+                n_processes=cfg.num_partitions,
+            )
+        self.attribution_profiles.append(profile)
+        return profile.summary(self.tree)
 
     def _status_snapshot(self, report: IterationReport,
                          events_before: int) -> dict[str, Any]:
@@ -680,6 +765,7 @@ class Driver:
             "worker_lanes": lanes,
             "cache": report.exec_cache,
             "latency": latency.get("quantiles") or None,
+            "latency_count": latency.get("count"),
             "mode": report.exec_mode,
             "degraded": report.exec_mode == "degraded",
             "supervision": report.supervision,

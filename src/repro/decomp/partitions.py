@@ -133,6 +133,35 @@ class Decomposition:
             out[nodes] = st.process
         return out
 
+    def leaf_partition(self) -> np.ndarray:
+        """Majority-owner partition per leaf node (split buckets are rare,
+        §II-C-1; ties break toward the smallest partition id).
+
+        One ``np.bincount`` over a combined (leaf, partition) key — no
+        per-leaf Python loop.  The cache-statistics and attribution layers
+        use this to charge each bucket's remote traffic to a partition.
+        """
+        tree = self.tree
+        out = np.zeros(tree.n_nodes, dtype=np.int64)
+        pp = np.asarray(self.particle_partition, dtype=np.int64)
+        leaves = tree.leaf_indices
+        if len(leaves) == 0:
+            return out
+        starts = tree.pstart[leaves].astype(np.int64)
+        ends = tree.pend[leaves].astype(np.int64)
+        lengths = ends - starts
+        # Particle positions of every leaf, concatenated, with the owning
+        # leaf's rank alongside.
+        idx = np.repeat(starts - np.concatenate(([0], np.cumsum(lengths)[:-1])), lengths) \
+            + np.arange(int(lengths.sum()), dtype=np.int64)
+        leaf_rank = np.repeat(np.arange(len(leaves), dtype=np.int64), lengths)
+        n_parts = int(pp.max()) + 1 if pp.size else 1
+        counts = np.bincount(
+            leaf_rank * n_parts + pp[idx], minlength=len(leaves) * n_parts
+        ).reshape(len(leaves), n_parts)
+        out[leaves] = np.argmax(counts, axis=1)
+        return out
+
 
 def _choose_subtree_roots(tree: Tree, n_subtrees: int) -> list[int]:
     """Cut the tree into at least ``n_subtrees`` disjoint subtrees by

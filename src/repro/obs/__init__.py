@@ -30,6 +30,12 @@ or end-to-end from the CLI::
 """
 
 from .span import NULL_TRACER, NullTracer, Span, Tracer
+from .attr import (
+    ATTR_SCHEMA,
+    AttributionProfile,
+    AttributionRecorder,
+    format_chunk_heatmap,
+)
 from .hist import Log2Histogram, QUANTILES, quantile_label
 from .flight import (
     FLIGHT_SCHEMA,
@@ -65,6 +71,7 @@ from .top import (
     read_status_file,
 )
 from .validate import (
+    validate_attribution,
     validate_chrome_trace,
     validate_flight_dump,
     validate_slo_report,
@@ -91,6 +98,10 @@ __all__ = [
     "Tracer",
     "NullTracer",
     "NULL_TRACER",
+    "ATTR_SCHEMA",
+    "AttributionProfile",
+    "AttributionRecorder",
+    "format_chunk_heatmap",
     "Log2Histogram",
     "QUANTILES",
     "quantile_label",
@@ -122,6 +133,7 @@ __all__ = [
     "validate_chrome_trace",
     "validate_slo_report",
     "validate_flight_dump",
+    "validate_attribution",
     "Telemetry",
     "NULL_TELEMETRY",
     "get_telemetry",

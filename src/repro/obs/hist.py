@@ -136,11 +136,15 @@ class Log2Histogram:
     def quantile(self, q: float) -> float:
         """Order-statistic estimate: the geometric midpoint of the bucket
         holding rank ``ceil(q * count)`` — within one log₂ bucket of the
-        exact sorted-sample value, clamped to the observed [min, max]."""
+        exact sorted-sample value, clamped to the observed [min, max].
+
+        An empty histogram has no order statistics: returns ``nan`` (never
+        raises), which renderers surface as ``n=0`` rather than a fake 0.
+        """
         if not 0.0 < q <= 1.0:
             raise ValueError(f"quantile must be in (0, 1], got {q}")
         if self.count == 0:
-            return 0.0
+            return math.nan
         rank = max(1, math.ceil(q * self.count))
         cum = 0
         bucket = len(self.counts) - 1

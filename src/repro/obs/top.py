@@ -132,10 +132,19 @@ class Dashboard:
             )
 
         quant = snap.get("latency") or {}
+        n_samples = snap.get("latency_count")
         if quant:
             lines.append("")
             q = "  ".join(f"{k}={_fmt_s(v).strip()}" for k, v in quant.items())
+            if n_samples:
+                q += f"  n={n_samples}"
             lines.append(self._b("task latency") + "  " + q)
+        elif n_samples == 0:
+            # an empty histogram has no quantiles (they are nan) — say so
+            # instead of hiding the section or printing fake zeros
+            lines.append("")
+            lines.append(self._b("task latency") + "  "
+                         + self._d("n=0 (no task samples yet)"))
 
         if snap.get("wall_time") is not None:
             lines.append("")
@@ -188,17 +197,44 @@ def follow_status_file(path: str | Path, poll: float = 0.5,
                        ) -> Iterator[dict[str, Any]]:
     """Yield snapshots as they are appended (``tail -f`` semantics).
 
+    Tails by byte offset, not line count, so a snapshot the writer has only
+    half-flushed is never consumed: a trailing chunk without ``\\n`` stays
+    buffered until the rest arrives, and a *complete* line that still fails
+    to parse (torn write, editor mangling) is skipped — the follow resumes
+    on the next complete line instead of raising mid-watch.  If the file
+    shrinks (restarted run truncating its feed), the tail restarts from the
+    beginning.
+
     ``stop`` is polled between reads so callers (and tests) can end the
     follow loop; by default the generator runs until interrupted.
     """
     path = Path(path)
-    seen = 0
+    offset = 0
+    pending = b""
     while True:
         if path.exists():
-            snaps = read_status_file(path)
-            for snap in snaps[seen:]:
-                yield snap
-            seen = len(snaps)
+            try:
+                size = path.stat().st_size
+                if size < offset:  # truncated underneath us: start over
+                    offset = 0
+                    pending = b""
+                if size > offset:
+                    with path.open("rb") as fh:
+                        fh.seek(offset)
+                        chunk = fh.read()
+                    offset += len(chunk)
+                    pending += chunk
+                    *lines, pending = pending.split(b"\n")
+                    for raw in lines:
+                        raw = raw.strip()
+                        if not raw:
+                            continue
+                        try:
+                            yield json.loads(raw.decode("utf-8"))
+                        except (json.JSONDecodeError, UnicodeDecodeError):
+                            continue  # torn line: resume on the next one
+            except OSError:
+                pass  # transient read error: retry next poll
         if stop is not None and stop():
             return
         sleep(poll)

@@ -9,10 +9,12 @@ strings — empty means valid):
   whose interval contains the task, i.e. worker spans nest under their
   pipeline phase even when they crossed a process boundary;
 * :func:`validate_slo_report` — the ``repro.slo/1`` schema;
-* :func:`validate_flight_dump` — the ``repro.flight/1`` schema.
+* :func:`validate_flight_dump` — the ``repro.flight/1`` schema;
+* :func:`validate_attribution` — the ``repro.attr/1`` schema produced by
+  ``repro explain --json``.
 
-``repro obs validate-trace`` / ``validate-slo`` expose these on the CLI so
-the obs-smoke CI job can gate on real artifacts.
+``repro obs validate-trace`` / ``validate-slo`` / ``validate-attr`` expose
+these on the CLI so the obs-smoke CI job can gate on real artifacts.
 """
 
 from __future__ import annotations
@@ -21,6 +23,7 @@ import json
 from pathlib import Path
 from typing import Any
 
+from .attr import ARRAY_FIELDS, ATTR_SCHEMA
 from .flight import FLIGHT_SCHEMA
 from .slo import SLO_SCHEMA
 
@@ -28,6 +31,7 @@ __all__ = [
     "validate_chrome_trace",
     "validate_slo_report",
     "validate_flight_dump",
+    "validate_attribution",
 ]
 
 #: slack (µs) for phase-span containment checks: exec.task intervals are
@@ -48,6 +52,24 @@ def validate_chrome_trace(doc: dict[str, Any],
     for i, ev in enumerate(events):
         ph = ev.get("ph")
         if ph == "M":
+            continue
+        if ph == "C":
+            # counter-track sample (attribution export): needs a name, a
+            # timestamp, and a numeric args payload — no duration.
+            for field in ("name", "ts", "pid"):
+                if field not in ev:
+                    problems.append(
+                        f"event {i} ({ev.get('name', '?')}): missing {field!r}"
+                    )
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args:
+                problems.append(
+                    f"event {i} ({ev.get('name', '?')}): counter without args"
+                )
+            elif not all(isinstance(v, (int, float)) for v in args.values()):
+                problems.append(
+                    f"event {i} ({ev.get('name', '?')}): non-numeric counter value"
+                )
             continue
         if ph != "X":
             problems.append(f"event {i}: unexpected ph={ph!r}")
@@ -135,6 +157,63 @@ def validate_flight_dump(doc: dict[str, Any]) -> list[str]:
         if last_t is not None and ev["t"] < last_t:
             problems.append(f"event {i}: timestamps not monotonic")
         last_t = ev["t"]
+    return problems
+
+
+def validate_attribution(doc: dict[str, Any]) -> list[str]:
+    """Problems with a ``repro.attr/1`` document (empty list = valid)."""
+    problems: list[str] = []
+    if doc.get("schema") != ATTR_SCHEMA:
+        problems.append(
+            f"bad schema {doc.get('schema')!r} (expected {ATTR_SCHEMA!r})"
+        )
+    n_nodes = doc.get("n_nodes")
+    if not isinstance(n_nodes, int) or n_nodes <= 0:
+        return problems + ["n_nodes missing or non-positive"]
+    arrays = doc.get("arrays")
+    if not isinstance(arrays, dict):
+        return problems + ["missing arrays object"]
+    for name in ARRAY_FIELDS + ("mac_rejects", "cost_ns"):
+        vals = arrays.get(name)
+        if not isinstance(vals, list):
+            problems.append(f"arrays.{name} missing")
+            continue
+        if len(vals) != n_nodes:
+            problems.append(
+                f"arrays.{name}: length {len(vals)} != n_nodes {n_nodes}"
+            )
+            continue
+        if any((not isinstance(v, int)) or v < 0 for v in vals):
+            problems.append(f"arrays.{name}: non-integer or negative entry")
+    totals = doc.get("totals")
+    if isinstance(totals, dict):
+        for name, total in totals.items():
+            vals = arrays.get(name)
+            if isinstance(vals, list) and sum(vals) != total:
+                problems.append(
+                    f"totals.{name}={total} != sum(arrays.{name})={sum(vals)}"
+                )
+    else:
+        problems.append("missing totals object")
+    # invariants the recorder semantics guarantee
+    visits = arrays.get("visits")
+    accepts = arrays.get("mac_accepts")
+    rejects = arrays.get("mac_rejects")
+    if (isinstance(visits, list) and isinstance(accepts, list)
+            and isinstance(rejects, list)
+            and len(visits) == len(accepts) == len(rejects) == n_nodes):
+        bad = sum(1 for v, a, r in zip(visits, accepts, rejects) if a + r != v)
+        if bad:
+            problems.append(
+                f"{bad} nodes violate mac_accepts + mac_rejects == visits"
+            )
+    for side_a, side_b in (("pn_pairs", "bucket_pn"), ("pp_pairs", "bucket_pp")):
+        a, b = arrays.get(side_a), arrays.get(side_b)
+        if isinstance(a, list) and isinstance(b, list) and sum(a) != sum(b):
+            problems.append(
+                f"source/bucket mismatch: sum({side_a})={sum(a)} != "
+                f"sum({side_b})={sum(b)}"
+            )
     return problems
 
 

@@ -34,6 +34,14 @@ from .critical_path import (
     analyze_critical_path,
     format_components,
 )
+from .whatif import (
+    VirtualSpeedup,
+    WhatIfResult,
+    format_whatifs,
+    parse_whatif,
+    standard_whatifs,
+    what_if,
+)
 from .registry import BenchmarkDef, BenchmarkRegistry, benchmark, discover, get_registry
 from .harness import (
     SCHEMA,
@@ -57,6 +65,12 @@ __all__ = [
     "CriticalPathReport",
     "analyze_critical_path",
     "format_components",
+    "VirtualSpeedup",
+    "WhatIfResult",
+    "format_whatifs",
+    "parse_whatif",
+    "standard_whatifs",
+    "what_if",
     "BenchmarkDef",
     "BenchmarkRegistry",
     "benchmark",

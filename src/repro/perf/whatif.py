@@ -1,0 +1,269 @@
+"""Coz-style causal what-if analysis over the DES event graph.
+
+:func:`analyze_critical_path` tells you where the simulated iteration's
+time *went*; this module tells you what a fix would *buy*.  It replays the
+recorded :class:`~repro.perf.critical_path.CPRecorder` DAG with a
+**virtual speedup** applied to a matched subset of activities (Coz's
+central idea: the causal effect of optimising X is measured by shrinking X
+and re-propagating the schedule) and reports the predicted makespan delta.
+Shrinking an off-critical-path activity predicts ~0 gain; shrinking a
+critical latency leg predicts the real gain *after* the schedule
+re-converges — which is usually much less than the naive
+``component_time × (1 − factor)`` because a secondary chain takes over.
+
+Replay model
+------------
+
+The recorded graph is topological (every predecessor id < node id).  A
+node's recorded start may exceed every predecessor's end — scheduler or
+resource wait the edges do not capture.  Replay keeps that *unexplained
+wait* ``W(n) = n.start − max_p(p.end)`` fixed and lets edge slack absorb
+shifts, PERT-style: a predecessor finishing earlier only helps once it is
+the binding constraint.
+
+Rather than recomputing absolute times — which would fail the "null
+speedup reproduces the measured makespan *exactly*" contract, since IEEE
+floats do not guarantee ``max_p(p.end) + W(n) == n.start`` — the replay
+propagates **deltas**::
+
+    shift(n)  = max_p(p.end + delta[p]) − max_p(p.end)      (0 for roots)
+    delta[n]  = shift(n) + (n.end − n.start) · (f(n) − 1)
+
+    makespan' = makespan + max_n(n.end + delta[n]) − max_n(n.end)
+
+With every factor exactly ``1.0`` the duration term is ``dur · 0.0 == 0.0``
+and ``shift`` is a float minus itself, so all deltas are identically zero
+and the predicted makespan is the measured one bit-for-bit — the
+acceptance gate ``repro explain`` prints.  Pure speedups (f ≤ 1) can only
+produce non-positive deltas, so a predicted makespan never exceeds the
+baseline; the unexplained-wait term stays fixed even when preds finish
+early, keeping predictions conservative where the graph is incomplete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from typing import Any, Iterable
+
+from .critical_path import CPRecorder
+
+__all__ = [
+    "VirtualSpeedup",
+    "WhatIfResult",
+    "parse_whatif",
+    "what_if",
+    "standard_whatifs",
+    "format_whatifs",
+]
+
+
+@dataclass(frozen=True)
+class VirtualSpeedup:
+    """One virtual optimisation: scale matching activities' durations.
+
+    ``factor`` multiplies the duration (×0.5 = twice as fast, ×4 = four
+    times slower — slowdowns are legal and useful for sensitivity).  An
+    activity matches when every given predicate holds: ``kind`` equals,
+    ``label`` is a substring, ``resource`` matches as an ``fnmatch`` glob.
+    """
+
+    factor: float
+    kind: str | None = None
+    label: str | None = None
+    resource: str | None = None
+
+    def matches(self, node) -> bool:
+        if self.kind is not None and node.kind != self.kind:
+            return False
+        if self.label is not None and self.label not in node.label:
+            return False
+        if self.resource is not None and not fnmatch(node.resource, self.resource):
+            return False
+        return True
+
+    def describe(self) -> str:
+        parts = []
+        if self.kind is not None:
+            parts.append(f"kind={self.kind}")
+        if self.label is not None:
+            parts.append(f"label~{self.label}")
+        if self.resource is not None:
+            parts.append(f"resource={self.resource}")
+        return f"{','.join(parts) or 'everything'} ×{self.factor:g}"
+
+
+@dataclass
+class WhatIfResult:
+    """Predicted effect of one speedup battery on the DES makespan."""
+
+    speedups: tuple[VirtualSpeedup, ...]
+    baseline: float
+    predicted: float
+    matched: int
+    matched_seconds: float
+
+    @property
+    def delta(self) -> float:
+        return self.predicted - self.baseline
+
+    @property
+    def gain_frac(self) -> float:
+        return -self.delta / self.baseline if self.baseline > 0 else 0.0
+
+    def describe(self) -> str:
+        return "; ".join(s.describe() for s in self.speedups)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "speedup": self.describe(),
+            "baseline_s": float(self.baseline),
+            "predicted_s": float(self.predicted),
+            "delta_s": float(self.delta),
+            "gain_frac": float(self.gain_frac),
+            "matched_activities": int(self.matched),
+            "matched_seconds": float(self.matched_seconds),
+        }
+
+
+def parse_whatif(spec: str) -> VirtualSpeedup:
+    """Parse a CLI what-if spec: ``<matchers> ×<factor>``.
+
+    Matchers are comma-separated ``kind=K`` / ``label=SUBSTR`` /
+    ``resource=GLOB`` clauses; a bare word is shorthand for ``kind=word``.
+    The factor separator is ``×`` or ``*``.  Examples::
+
+        latency ×0.5
+        kind=compute,resource=p3/* *0.8
+        label=request x2
+    """
+    text = spec.strip().replace("×", "*")
+    # also accept a lone "x2" style factor separator
+    if "*" not in text:
+        head, _, tail = text.rpartition(" x")
+        if tail and _ == " x":
+            text = f"{head}*{tail}"
+    if "*" not in text:
+        raise ValueError(
+            f"what-if spec {spec!r} has no ×<factor> (try 'latency ×0.5')"
+        )
+    matchers, _, factor_text = text.rpartition("*")
+    try:
+        factor = float(factor_text)
+    except ValueError:
+        raise ValueError(f"bad what-if factor {factor_text!r} in {spec!r}") from None
+    if factor <= 0:
+        raise ValueError(f"what-if factor must be positive, got {factor:g}")
+    kind = label = resource = None
+    for clause in matchers.split(","):
+        clause = clause.strip()
+        if not clause:
+            continue
+        key, eq, value = clause.partition("=")
+        if not eq:
+            key, value = "kind", key
+        key, value = key.strip(), value.strip()
+        if key == "kind":
+            kind = value
+        elif key == "label":
+            label = value
+        elif key == "resource":
+            resource = value
+        else:
+            raise ValueError(
+                f"unknown what-if matcher {key!r} in {spec!r} "
+                "(expected kind=/label=/resource=)"
+            )
+    return VirtualSpeedup(factor=factor, kind=kind, label=label, resource=resource)
+
+
+def what_if(recorder: CPRecorder, makespan: float,
+            speedups: VirtualSpeedup | Iterable[VirtualSpeedup]) -> WhatIfResult:
+    """Replay the event graph with virtual speedups applied.
+
+    Multiple speedups compose multiplicatively on activities matching more
+    than one.  See the module docstring for the delta recurrence and the
+    exact-null guarantee.
+    """
+    if isinstance(speedups, VirtualSpeedup):
+        speedups = (speedups,)
+    battery = tuple(speedups)
+    nodes = recorder.nodes
+    if not nodes:
+        return WhatIfResult(battery, float(makespan), float(makespan), 0, 0.0)
+
+    delta = [0.0] * len(nodes)
+    max_end = max_shifted = None
+    matched = 0
+    matched_seconds = 0.0
+    for n in nodes:  # ids are topological: preds always precede
+        f = 1.0
+        hit = False
+        for s in battery:
+            if s.matches(n):
+                f *= s.factor
+                hit = True
+        dur = n.end - n.start
+        if hit:
+            matched += 1
+            matched_seconds += dur
+        # shift = max_p(p.end + delta[p]) − max_p(p.end): slack on
+        # non-binding edges absorbs pred shifts; exactly 0.0 when all
+        # pred deltas are 0.0 (same float minus itself)
+        if n.preds:
+            rec_bind = shifted_bind = None
+            for p in n.preds:
+                p_end = nodes[p].end
+                if rec_bind is None or p_end > rec_bind:
+                    rec_bind = p_end
+                p_shifted = p_end + delta[p]
+                if shifted_bind is None or p_shifted > shifted_bind:
+                    shifted_bind = p_shifted
+            shift = shifted_bind - rec_bind
+        else:
+            shift = 0.0
+        delta[n.id] = shift + dur * (f - 1.0)
+        end = n.end
+        if max_end is None or end > max_end:
+            max_end = end
+        shifted = end + delta[n.id]
+        if max_shifted is None or shifted > max_shifted:
+            max_shifted = shifted
+
+    predicted = makespan + (max_shifted - max_end)
+    return WhatIfResult(battery, float(makespan), float(predicted),
+                        matched, matched_seconds)
+
+
+def standard_whatifs(recorder: CPRecorder, makespan: float,
+                     top_resources: int = 3) -> list[WhatIfResult]:
+    """The default battery ``repro explain`` reports: halve each activity
+    kind, then halve compute on the busiest resources (Fig 11-style "which
+    process would you optimise first" advice)."""
+    results = [
+        what_if(recorder, makespan, VirtualSpeedup(0.5, kind=kind))
+        for kind in ("latency", "compute", "queue")
+    ]
+    busy: dict[str, float] = {}
+    for n in recorder.nodes:
+        if n.resource and n.kind == "compute":
+            busy[n.resource] = busy.get(n.resource, 0.0) + (n.end - n.start)
+    for resource, _ in sorted(busy.items(), key=lambda kv: -kv[1])[:top_resources]:
+        results.append(what_if(
+            recorder, makespan,
+            VirtualSpeedup(0.5, kind="compute", resource=resource),
+        ))
+    results.sort(key=lambda r: r.predicted)
+    return results
+
+
+def format_whatifs(results: list[WhatIfResult], baseline: float) -> str:
+    """Console table of predicted makespans, best first."""
+    lines = [f"what-if (baseline {baseline * 1e3:.3f} ms simulated):"]
+    for r in results:
+        lines.append(
+            f"  {r.describe():<42} → {r.predicted * 1e3:9.3f} ms "
+            f"({r.gain_frac:+6.1%}, {r.matched} activities, "
+            f"{r.matched_seconds * 1e3:.3f} ms matched)"
+        )
+    return "\n".join(lines)

@@ -68,6 +68,10 @@ class SimResult:
     critical_path: CriticalPathReport | None = None
     #: per-crash recovery accounting (None unless a crash actually fired)
     recovery: RecoveryReport | None = None
+    #: the raw recorded event graph (None unless ``critical_path=True``);
+    #: not serialized — the what-if engine replays it with virtual
+    #: speedups (``repro explain``)
+    cp_graph: CPRecorder | None = None
 
     @property
     def total_cores(self) -> int:
@@ -774,6 +778,7 @@ class TraversalSim:
             faults=self.injector.counters if self.injector is not None else None,
             critical_path=cp_report,
             recovery=recovery,
+            cp_graph=self.cp,
         )
 
 

@@ -46,6 +46,7 @@ __all__ = [
     "run_combination",
     "assert_equivalent",
     "differential_matrix",
+    "attribution_matrix",
 ]
 
 #: TraversalStats fields that must be invariant across engines' batching
@@ -243,6 +244,54 @@ def assert_equivalent(base: RunResult, other: RunResult) -> None:
             mine = getattr(base.lists, attr)
             theirs = getattr(other.lists, attr)
             assert mine == theirs, f"{other.label}: recorder {attr} differs"
+
+
+def attribution_matrix(
+    tree: Tree,
+    engine: str,
+    make_visitor: Callable[[Tree], Visitor],
+    backends: tuple[str, ...] = BACKENDS,
+    workers: tuple[int, ...] = WORKER_COUNTS,
+    decomposition=None,
+):
+    """Assert the attribution arrays are **bit-identical** for every
+    (backend × workers) combination against the serial oracle.
+
+    This is the acceptance contract of ``repro.obs.attr``: integer
+    counters scattered with ``np.add.at``, forks absorbed in chunk order —
+    so chunking and scheduling must be invisible in the arrays, down to
+    the last bit.  Returns the serial :class:`AttributionRecorder`.
+    """
+    from repro.obs import AttributionRecorder
+    from repro.obs.attr import ARRAY_FIELDS
+
+    def run_one(backend: str, w: int) -> AttributionRecorder:
+        visitor = make_visitor(tree)
+        rec = AttributionRecorder(tree.n_nodes)
+        b = get_backend(backend, workers=w)
+        try:
+            b.run(tree, engine, visitor, recorder=rec,
+                  decomposition=decomposition)
+        finally:
+            b.shutdown()
+        return rec
+
+    base = run_one("serial", 1)
+    for backend in backends:
+        if backend == "serial":
+            continue
+        for w in workers:
+            other = run_one(backend, w)
+            for name in ARRAY_FIELDS:
+                a = getattr(base, name)
+                b_arr = getattr(other, name)
+                assert np.array_equal(a, b_arr), (
+                    f"{engine}/{backend}/w{w}: attribution array {name!r} "
+                    f"diverged from serial "
+                    f"(first diff at node {int(np.argmax(a != b_arr))})"
+                )
+            assert np.array_equal(base.cost_ns(), other.cost_ns())
+    return base
 
 
 def differential_matrix(

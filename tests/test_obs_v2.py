@@ -147,8 +147,14 @@ class TestLog2Histogram:
     def test_empty_histogram(self):
         h = Log2Histogram()
         assert h.count == 0
-        assert h.quantile(0.5) == 0.0
+        # no samples → no order statistic; nan, not a fake 0.0
+        assert math.isnan(h.quantile(0.5))
+        assert math.isnan(h.quantile(0.99))
         assert h.mean == 0.0
+        # serialization stays clean: no nan leaks into JSON documents
+        d = h.to_dict()
+        assert d["quantiles"] == {}
+        assert json.loads(json.dumps(d)) == d
 
 
 # ---------------------------------------------------------------------------
@@ -165,6 +171,39 @@ class TestFlightRecorder:
         kinds = [kind for _, kind, _ in fr.snapshot()]
         assert kinds == ["tick"] * 8
         assert fr.snapshot()[-1][2] == {"i": 19}
+
+    def test_wrap_boundary_exact_capacity(self, tmp_path):
+        """Exactly ``capacity`` events: nothing dropped, order untouched."""
+        fr = FlightRecorder(capacity=8)
+        for i in range(8):
+            fr.record("tick", i=i)
+        assert len(fr) == 8 and fr.recorded == 8 and fr.dropped == 0
+        assert [e[2]["i"] for e in fr.snapshot()] == list(range(8))
+        doc = load_flight_dump(fr.dump(tmp_path / "full.json"))
+        assert [e["detail"]["i"] for e in doc["events"]] == list(range(8))
+        assert validate_flight_dump(doc) == []
+
+    def test_wrap_boundary_capacity_plus_one(self, tmp_path):
+        """One past capacity: the oldest event (only) falls off, and the
+        dump is still in record order across the wrap seam."""
+        fr = FlightRecorder(capacity=8)
+        for i in range(9):
+            fr.record("tick", i=i)
+        assert len(fr) == 8 and fr.recorded == 9 and fr.dropped == 1
+        assert [e[2]["i"] for e in fr.snapshot()] == list(range(1, 9))
+        doc = load_flight_dump(fr.dump(tmp_path / "wrap.json"))
+        assert [e["detail"]["i"] for e in doc["events"]] == list(range(1, 9))
+        assert doc["dropped"] == 1
+
+    def test_wrap_ordering_many_times_around(self):
+        """Timestamps and payloads stay monotone after many wraps."""
+        fr = FlightRecorder(capacity=5)
+        for i in range(23):
+            fr.record("tick", i=i)
+        snap = fr.snapshot()
+        assert [e[2]["i"] for e in snap] == list(range(18, 23))
+        ts = [e[0] for e in snap]
+        assert ts == sorted(ts)
 
     def test_dump_roundtrip(self, tmp_path):
         fr = FlightRecorder(capacity=4)
@@ -458,6 +497,17 @@ class TestDashboard:
         assert "p50=1.000ms" in text
         assert "\x1b" not in text
 
+    def test_render_empty_latency_says_n0(self):
+        """count=0 renders an explicit "n=0" line — never nan quantiles or
+        fake zeros (satellite: empty-histogram surfacing)."""
+        snap = dict(self.SNAP, latency={}, latency_count=0)
+        text = Dashboard(use_ansi=False).render(snap)
+        assert "task latency" in text and "n=0 (no task samples yet)" in text
+        assert "nan" not in text
+        # and a populated histogram advertises its sample count
+        snap2 = dict(self.SNAP, latency_count=5)
+        assert "n=5" in Dashboard(use_ansi=False).render(snap2)
+
     def test_ansi_update_clears_screen(self):
         import io
 
@@ -496,6 +546,54 @@ class TestDashboard:
                                  sleep=fake_sleep)
         seen = [s["iteration"] for s in gen]
         assert seen == [0, 1, 2]
+
+    def test_follow_buffers_torn_tail_line(self, tmp_path):
+        """A half-written JSONL tail (torn write) must not be parsed or
+        crash the follower; it is buffered and yielded once the writer
+        finishes the line (satellite: `repro top --follow` tail skip)."""
+        path = tmp_path / "status.jsonl"
+        whole = json.dumps({"iteration": 0}) + "\n"
+        torn = json.dumps({"iteration": 1})
+        path.write_text(whole + torn[:7])  # mid-record, no newline
+        steps = iter([
+            lambda: path.write_text(whole + torn + "\n"),  # complete it
+            lambda: None,
+        ])
+
+        def fake_sleep(_):
+            next(steps, lambda: None)()
+
+        done = iter([False, False, False, True])
+        gen = follow_status_file(path, poll=0.0, stop=lambda: next(done),
+                                 sleep=fake_sleep)
+        assert [s["iteration"] for s in gen] == [0, 1]
+
+    def test_follow_skips_malformed_complete_line(self, tmp_path):
+        path = tmp_path / "status.jsonl"
+        path.write_text('{"iteration": 0}\nnot json at all\n'
+                        '\xff\xfe garbage\n{"iteration": 2}\n')
+        done = iter([False, True])
+        gen = follow_status_file(path, poll=0.0, stop=lambda: next(done),
+                                 sleep=lambda _: None)
+        assert [s["iteration"] for s in gen] == [0, 2]
+
+    def test_follow_restarts_after_truncation(self, tmp_path):
+        """Writer restart (file truncated under the follower) resets the
+        offset so new snapshots still arrive."""
+        path = tmp_path / "status.jsonl"
+        path.write_text('{"iteration": 7, "pipeline": "OldRun"}\n')
+        steps = iter([
+            lambda: path.write_text('{"iteration": 0}\n'),  # shorter file
+            lambda: None,
+        ])
+
+        def fake_sleep(_):
+            next(steps, lambda: None)()
+
+        done = iter([False, False, False, True])
+        gen = follow_status_file(path, poll=0.0, stop=lambda: next(done),
+                                 sleep=fake_sleep)
+        assert [s["iteration"] for s in gen] == [7, 0]
 
     def test_driver_feeds_dashboard_and_status(self, tmp_path):
         import io

@@ -1,0 +1,201 @@
+"""Causal what-if engine tests (``repro.perf.whatif``).
+
+The engine replays the DES dependency graph (:class:`CPRecorder`) with
+virtual speedups, Coz-style.  The contract:
+
+* **null exactness** — a ×1.0 speedup reproduces the measured makespan
+  *bit-exactly* (the delta formulation keeps all per-node deltas at 0.0,
+  so no float drift can creep in);
+* hand-built DAGs with known critical paths give the analytically
+  correct predicted makespan;
+* speeding up off-critical-path work yields no gain until it becomes
+  critical;
+* the ``--whatif`` spec grammar parses kinds, label substrings, resource
+  globs and both ``×``/``*``/`` xN`` factor syntaxes.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.traverser import InteractionLists, get_traverser
+from repro.decomp import SfcDecomposer, decompose
+from repro.particles.generators import clustered_clumps
+from repro.perf import (
+    CPRecorder,
+    VirtualSpeedup,
+    format_whatifs,
+    parse_whatif,
+    standard_whatifs,
+    what_if,
+)
+from repro.runtime import simulate_traversal, workload_from_traversal
+from repro.trees import build_tree
+
+from tests.harness.differential import CountInRadiusVisitor
+
+
+def _chain(durations, kind="compute"):
+    """A linear chain a→b→c…; makespan is the sum of durations."""
+    rec = CPRecorder()
+    t, prev = 0.0, None
+    for i, d in enumerate(durations):
+        prev = rec.add(f"n{i}", kind, t, t + d,
+                       preds=(prev,) if prev is not None else ())
+        t += d
+    return rec, t
+
+
+class TestHandBuiltGraphs:
+    def test_chain_uniform_speedup(self):
+        rec, makespan = _chain([1.0, 2.0, 3.0])
+        res = what_if(rec, makespan, VirtualSpeedup(0.5))
+        assert res.predicted == pytest.approx(3.0)
+        assert res.matched == 3
+        assert res.delta == pytest.approx(-3.0)
+        assert res.gain_frac == pytest.approx(0.5)
+
+    def test_null_speedup_is_bit_exact(self):
+        # awkward float durations on purpose: exactness must not depend
+        # on the numbers being representable sums
+        rec, makespan = _chain([0.1, 0.2, 0.30000000000000004, 1e-9])
+        res = what_if(rec, makespan, VirtualSpeedup(1.0))
+        assert res.predicted == makespan  # == , not approx
+        assert res.delta == 0.0
+
+    def test_diamond_critical_path(self):
+        # a → {b: 5, c: 1} → d ; critical path a-b-d = 1+5+1 = 7
+        rec = CPRecorder()
+        a = rec.add("a", "compute", 0.0, 1.0)
+        b = rec.add("b", "compute", 1.0, 6.0, preds=(a,))
+        c = rec.add("c", "latency", 1.0, 2.0, preds=(a,))
+        rec.add("d", "compute", 6.0, 7.0, preds=(b, c))
+        makespan = 7.0
+        # halving the off-critical latency leg changes nothing
+        off = what_if(rec, makespan, VirtualSpeedup(0.5, kind="latency"))
+        assert off.predicted == makespan
+        assert off.matched == 1 and off.matched_seconds == pytest.approx(1.0)
+        # halving b shortens the path until c's leg binds:
+        # a(1) + b(2.5) + d(1) = 4.5 > a(1) + c(1) + d(1) = 3
+        on = what_if(rec, makespan, VirtualSpeedup(0.5, label="b"))
+        assert on.predicted == pytest.approx(4.5)
+        # overshooting: b at ×0.1 leaves c critical → 1 + 1 + 1 = 3
+        lim = what_if(rec, makespan, VirtualSpeedup(0.1, label="b"))
+        assert lim.predicted == pytest.approx(3.0)
+
+    def test_slowdown_and_composition(self):
+        rec, makespan = _chain([2.0, 2.0])
+        slow = what_if(rec, makespan, VirtualSpeedup(2.0))
+        assert slow.predicted == pytest.approx(8.0)
+        assert slow.gain_frac == pytest.approx(-1.0)
+        # two matching speedups compose multiplicatively: ×0.5 · ×0.5
+        both = what_if(rec, makespan,
+                       (VirtualSpeedup(0.5), VirtualSpeedup(0.5)))
+        assert both.predicted == pytest.approx(1.0)
+
+    def test_start_edge_graph(self):
+        """Nodes that start after their predecessors end (scheduler gaps)
+        keep the gap; only durations shrink."""
+        rec = CPRecorder()
+        a = rec.add("a", "compute", 0.0, 1.0)
+        rec.add("b", "compute", 3.0, 4.0, preds=(a,))  # 2s idle gap
+        res = what_if(rec, 4.0, VirtualSpeedup(0.5))
+        # a ends at 0.5 (delta -0.5), b's duration halves: 4 - 0.5 - 0.5
+        assert res.predicted == pytest.approx(3.0)
+
+    def test_resource_glob_and_empty_graph(self):
+        rec = CPRecorder()
+        rec.add("w", "compute", 0.0, 2.0, resource="p0.w1")
+        rec.add("x", "compute", 0.0, 1.0, resource="net")
+        hit = what_if(rec, 2.0, VirtualSpeedup(0.5, resource="p0.*"))
+        assert hit.matched == 1 and hit.predicted == pytest.approx(1.0)
+        miss = what_if(rec, 2.0, VirtualSpeedup(0.5, resource="p9.*"))
+        assert miss.matched == 0 and miss.predicted == 2.0
+        empty = what_if(CPRecorder(), 5.0, VirtualSpeedup(0.5))
+        assert empty.predicted == 5.0 and empty.matched == 0
+
+    def test_result_serialization(self):
+        rec, makespan = _chain([1.0, 1.0])
+        res = what_if(rec, makespan, VirtualSpeedup(0.5, kind="compute"))
+        d = res.to_dict()
+        assert d["predicted_s"] == res.predicted
+        assert d["matched_activities"] == 2
+        assert "compute" in d["speedup"]
+        table = format_whatifs([res], makespan)
+        assert "×0.5" in table and "+50.0%" in table
+
+
+class TestParseWhatif:
+    def test_kind_forms(self):
+        for spec in ("latency ×0.5", "latency *0.5", "kind=latency ×0.5",
+                     "latency x0.5"):
+            s = parse_whatif(spec)
+            assert s.kind == "latency" and s.factor == 0.5, spec
+
+    def test_label_and_resource(self):
+        s = parse_whatif("label=fetch,resource=p0.* ×0.25")
+        assert s.label == "fetch" and s.resource == "p0.*"
+        assert s.factor == 0.25 and s.kind is None
+
+    def test_bad_specs(self):
+        for bad in ("latency", "latency ×0", "latency ×-1", "latency ×abc",
+                    "nope=3 ×0.5", ""):
+            with pytest.raises(ValueError):
+                parse_whatif(bad)
+
+    def test_matches(self):
+        node = CPRecorder()
+        i = node.add("fetch group 3", "latency", 0.0, 1.0, resource="p2.net")
+        n = node.nodes[i]
+        assert VirtualSpeedup(0.5, kind="latency").matches(n)
+        assert VirtualSpeedup(0.5, label="group").matches(n)
+        assert VirtualSpeedup(0.5, resource="p2.*").matches(n)
+        assert not VirtualSpeedup(0.5, kind="compute").matches(n)
+        assert not VirtualSpeedup(0.5, label="flush").matches(n)
+
+
+class TestDESIntegration:
+    @pytest.fixture(scope="class")
+    def sim(self):
+        tree = build_tree(clustered_clumps(600, seed=7), tree_type="oct",
+                          bucket_size=16)
+        parts = SfcDecomposer().assign(tree.particles, 4)
+        dec = decompose(tree, parts, n_subtrees=4)
+        lists = InteractionLists()
+        engine = get_traverser("transposed")
+        engine.traverse(tree, CountInRadiusVisitor(tree, 0.25),
+                        tree.leaf_indices, lists)
+        wl = workload_from_traversal(tree, dec, lists)
+        return simulate_traversal(wl, n_processes=4, critical_path=True)
+
+    def test_null_reproduces_makespan_exactly(self, sim):
+        assert sim.cp_graph is not None and len(sim.cp_graph) > 0
+        res = what_if(sim.cp_graph, sim.time, VirtualSpeedup(1.0))
+        assert res.predicted == sim.time  # bit-exact, the acceptance gate
+
+    def test_standard_whatifs_bracket_reality(self, sim):
+        results = standard_whatifs(sim.cp_graph, sim.time)
+        assert results
+        for r in results:
+            # a pure speedup can help or be neutral, never hurt
+            assert r.predicted <= sim.time + 1e-12
+            assert math.isfinite(r.predicted)
+        preds = [r.predicted for r in results]
+        assert preds == sorted(preds)
+
+    def test_deterministic_replay(self, sim):
+        a = what_if(sim.cp_graph, sim.time, VirtualSpeedup(0.5, kind="compute"))
+        b = what_if(sim.cp_graph, sim.time, VirtualSpeedup(0.5, kind="compute"))
+        assert a.predicted == b.predicted
+
+    def test_whatif_consistent_with_components(self, sim):
+        """Eliminating a kind entirely (×→0) can at best remove that kind's
+        critical-path share — the Coz sanity bound."""
+        assert sim.critical_path is not None
+        comp = sim.critical_path.components
+        for kind, share in comp.items():
+            res = what_if(sim.cp_graph, sim.time,
+                          VirtualSpeedup(1e-9, kind=kind))
+            saved = sim.time - res.predicted
+            assert saved <= share + 1e-9 * sim.time + 1e-12, kind
