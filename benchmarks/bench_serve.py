@@ -1,0 +1,113 @@
+"""Serving-layer cost: admission decisions, batch kernels, end-to-end.
+
+Three bars keep the online-service hot paths honest:
+
+* ``serve.admission_throughput`` — pure policy cost of one
+  offer→admit/shed decision (token bucket + bounded queue + counters),
+  no tree, no event loop.  This sits on every query; it has to stay in
+  the microsecond range or admission itself becomes the bottleneck.
+* ``serve.knn_batch`` — the batch execution kernel over the resident
+  tree (what one micro-batch costs the dispatch thread).
+* ``serve.e2e_inline`` — a full unpaced in-process replay through the
+  asyncio service (admission, batching, deadline handling, response
+  futures), the number the ``--bench`` capacity calibration reflects.
+
+Compare against a baseline with ``repro bench compare``.
+"""
+
+import asyncio
+
+import numpy as np
+
+from repro.particles import clustered_clumps
+from repro.perf import benchmark as perf_benchmark
+from repro.serve import (
+    AdmissionConfig,
+    AdmissionController,
+    Query,
+    ServeConfig,
+    TrafficShape,
+    execute_queries,
+    generate_traffic,
+    run_trace,
+)
+from repro.serve.service import QueryService
+from repro.trees import build_tree
+
+
+@perf_benchmark("serve.admission_throughput", group="serve",
+                description="offer->admit/shed decisions through the "
+                            "admission controller (token bucket + bounded "
+                            "queue + conservation counters)")
+def bench_admission(quick=False):
+    n = 5_000 if quick else 50_000
+    queries = [Query(id=f"q{i}", op="knn", point=np.zeros(3), t=i * 1e-4)
+               for i in range(n)]
+
+    def run():
+        ctl = AdmissionController(AdmissionConfig(
+            queue_capacity=256, rate=n / 4.0, burst=64.0))
+        admitted = 0
+        for q in queries:
+            if ctl.offer(q, q.t) == "admitted":
+                admitted += 1
+                if ctl.depth >= 200:        # drain like the dispatcher would
+                    ctl.queue.clear()
+                    ctl.note_served(200)
+        c = ctl.counters
+        assert c.offered == n
+        return {"offered": n, "admitted": c.admitted, "shed": c.shed_total}
+
+    return run
+
+
+@perf_benchmark("serve.knn_batch", group="serve",
+                description="one micro-batch of kNN queries against the "
+                            "resident tree (the dispatch-thread unit of work)")
+def bench_knn_batch(quick=False):
+    n = 2_000 if quick else 20_000
+    batch_size = 64
+    particles = clustered_clumps(n, seed=17)
+    tree = build_tree(particles, tree_type="oct", bucket_size=16)
+    rng = np.random.default_rng(17)
+    points = particles.position[rng.integers(0, n, batch_size)]
+    wire = [{"id": f"q{i}", "op": "knn", "point": list(p), "k": 8}
+            for i, p in enumerate(points)]
+
+    def run():
+        out = execute_queries(tree, wire)
+        assert len(out) == batch_size and "idx" in out[0]
+        return {"n_particles": n, "batch": batch_size}
+
+    return run
+
+
+@perf_benchmark("serve.e2e_inline", group="serve",
+                description="unpaced in-process replay through the full "
+                            "asyncio service (admission, micro-batching, "
+                            "futures) with the inline executor")
+def bench_e2e(quick=False):
+    n = 2_000 if quick else 10_000
+    n_queries = 200 if quick else 1_000
+    shape = TrafficShape(rate=10_000, duration=n_queries / 10_000.0)
+    trace = generate_traffic(shape, np.zeros(3), np.ones(3), seed=17,
+                             max_queries=n_queries)
+
+    def run():
+        service = QueryService(ServeConfig(
+            dataset={"kind": "clumps", "n": n, "seed": 17},
+            admission=AdmissionConfig(queue_capacity=100_000),
+            batch_max=64, batch_wait=0.0, status_every=0.0))
+
+        async def go():
+            try:
+                return await run_trace(service, trace, pace=False)
+            finally:
+                await service.stop()
+
+        res = asyncio.run(go())
+        assert res.served == len(trace)
+        return {"queries": len(trace), "served": res.served,
+                "p99_s": round(res.quantile(0.99), 6)}
+
+    return run

@@ -15,11 +15,15 @@ Examples::
     python -m repro gravity --iterations 4 --slo 'lat<5s,target=0.95' --flight flight.json
     python -m repro obs dump flight.json --last 20
     python -m repro top gravity --backend threads
+    python -m repro serve --n 50000 --rate 2000 --socket serve.sock
+    python -m repro serve --bench --overload 4 --slo 'lat<50ms,target=0.95'
+    python -m repro serve --validate --bench-rate 400 --deadline-frac 0.25 --query-deadline 0
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -294,6 +298,33 @@ def _finish_telemetry(telemetry, args) -> None:
         print(console_report(telemetry), end="")
 
 
+def _run_driver_guarded(driver, args, telemetry, resume_from=None):
+    """Run the driver with SIGTERM/SIGINT converted into a graceful stop.
+
+    Returns None when the run completed normally.  On an interrupt the
+    armed flight recorder has already dumped (Driver.run's crash hook);
+    this writes a final checkpoint when checkpointing is enabled,
+    flushes telemetry, and returns the ``128 + N`` exit code for the
+    command to propagate — the interrupted run stays resumable.
+    """
+    from .resilience import RunInterrupted, graceful_interrupts
+
+    try:
+        with graceful_interrupts():
+            driver.run(resume_from=resume_from)
+        return None
+    except RunInterrupted as exc:
+        done = len(driver.reports)
+        msg = (f"interrupted by {exc.signal_name} after {done} "
+               f"completed iteration(s)")
+        path = driver.write_final_checkpoint()
+        if path:
+            msg += f"; wrote checkpoint {path} (resume with `repro resume {path}`)"
+        print(msg, file=sys.stderr)
+        _finish_telemetry(telemetry, args)
+        return exc.exit_code
+
+
 def cmd_gravity(args) -> int:
     from .apps.gravity import compute_gravity, direct_accelerations, acceleration_error
     from .particles import clustered_clumps
@@ -344,9 +375,11 @@ def cmd_gravity(args) -> int:
             )
         t0 = time.time()
         try:
-            driver.run()
+            rc_signal = _run_driver_guarded(driver, args, telemetry)
         finally:
             driver.disable_parallel()
+        if rc_signal is not None:
+            return rc_signal
         print(f"traversal: {time.time() - t0:.2f}s  {driver.last_stats.as_dict()}")
         _print_exec_health(driver)
         for rep in driver.reports:
@@ -425,9 +458,11 @@ def cmd_sph(args) -> int:
             )
         t0 = time.time()
         try:
-            driver.run()
+            rc_signal = _run_driver_guarded(driver, args, telemetry)
         finally:
             driver.disable_parallel()
+        if rc_signal is not None:
+            return rc_signal
         print(f"{args.iterations} iteration(s) in {time.time() - t0:.2f}s; "
               f"median rho {np.median(driver.state.density):.4f}")
         _print_exec_health(driver)
@@ -482,9 +517,11 @@ def cmd_knn(args) -> int:
             )
         t0 = time.time()
         try:
-            driver.run()
+            rc_signal = _run_driver_guarded(driver, args, telemetry)
         finally:
             driver.disable_parallel()
+        if rc_signal is not None:
+            return rc_signal
         print(f"kNN k={args.k}: {time.time() - t0:.2f}s, "
               f"median d_k={np.median(driver.kth_distances()):.4f}")
         _print_exec_health(driver)
@@ -535,9 +572,11 @@ def cmd_disk(args) -> int:
         )
     t0 = time.time()
     try:
-        d.run()
+        rc_signal = _run_driver_guarded(d, args, telemetry)
     finally:
         d.disable_parallel()
+    if rc_signal is not None:
+        return rc_signal
     print(f"{args.steps} steps in {time.time() - t0:.1f}s; "
           f"collisions recorded: {len(d.log)}")
     _print_exec_health(d)
@@ -589,9 +628,11 @@ def cmd_correlation(args) -> int:
                             "bins": args.bins},
             )
         try:
-            driver.run()
+            rc_signal = _run_driver_guarded(driver, args, telemetry)
         finally:
             driver.disable_parallel()
+        if rc_signal is not None:
+            return rc_signal
         _print_exec_health(driver)
         res, edges = driver.result, driver.edges
         print(f"{'r_lo':>8} {'r_hi':>8} {'xi':>10} {'DD':>10}")
@@ -642,9 +683,11 @@ def cmd_resume(args) -> int:
         )
     t0 = time.time()
     try:
-        driver.run(resume_from=ckpt)
+        rc_signal = _run_driver_guarded(driver, args, telemetry, resume_from=ckpt)
     finally:
         driver.disable_parallel()
+    if rc_signal is not None:
+        return rc_signal
     ran = max(driver.config.num_iterations - ckpt.iteration, 0)
     print(f"resumed {ckpt.app or 'run'} at iteration {ckpt.iteration}: "
           f"ran {ran} more iteration(s) in {time.time() - t0:.2f}s")
@@ -783,12 +826,26 @@ def cmd_bench(args) -> int:
         return 1 if any("error" in r for r in report["results"]) else 0
 
     if args.bench_cmd == "compare":
-        try:
-            base = load_report(args.baseline)
-            new = load_report(args.new)
-        except (OSError, ValueError) as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
+        loaded = {}
+        for role, path in (("baseline", args.baseline), ("new", args.new)):
+            try:
+                loaded[role] = load_report(path)
+            except FileNotFoundError:
+                print(f"error: {role} BENCH file not found: {path}",
+                      file=sys.stderr)
+                return 2
+            except OSError as exc:
+                print(f"error: cannot read {role} BENCH file {path}: {exc}",
+                      file=sys.stderr)
+                return 2
+            except ValueError as exc:
+                hint = (" — was it written by a newer build? re-run "
+                        "`repro bench run` with this build to regenerate it"
+                        if "schema_version" in str(exc) else "")
+                print(f"error: {role} BENCH file: {exc}{hint}",
+                      file=sys.stderr)
+                return 2
+        base, new = loaded["baseline"], loaded["new"]
         result = compare_reports(base, new, rel_floor=args.rel_floor,
                                  k_iqr=args.k_iqr)
         if args.markdown:
@@ -1095,6 +1152,179 @@ def cmd_top(args) -> int:
     return 0
 
 
+def _serve_traffic_shape(args, rate: float):
+    from .serve import TrafficShape
+
+    return TrafficShape(
+        rate=rate, duration=args.duration, burst_factor=args.overload,
+        burst_window=(0.4, 0.6), think_tail=args.think_tail,
+        deadline=args.query_deadline, deadline_frac=args.deadline_frac,
+        ops=tuple(args.ops.split(",")), k=args.k,
+    )
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+    import signal as _signal
+
+    from .serve import (
+        AdmissionConfig,
+        QueryService,
+        ServeConfig,
+        ServiceModel,
+        SocketServer,
+        TokenBucket,
+        accounting_delta,
+        calibrate_capacity,
+        generate_traffic,
+        run_trace,
+        simulate_service,
+    )
+    from .serve.batcher import BatchPolicy
+
+    telemetry = _telemetry_from_args(args)
+    if args.resume:
+        dataset = {"checkpoint": args.resume}
+    else:
+        dataset = {"kind": args.dataset, "n": args.n, "seed": args.seed}
+    dataset["tree_type"] = args.tree
+    dataset["bucket_size"] = args.bucket
+    admission = AdmissionConfig(
+        queue_capacity=args.queue_cap, rate=args.rate, burst=args.burst,
+        slo=args.shed_slo, default_deadline=args.deadline)
+    batch_max = args.batch_max or 4 * args.bucket
+    cfg = ServeConfig(
+        dataset=dataset, admission=admission, batch_max=batch_max,
+        batch_wait=args.batch_wait, executor=args.executor,
+        workers=args.workers or 2, exec_deadline=args.exec_deadline,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        checkpoint_dir=args.checkpoint_dir,
+        status_every=args.status_every,
+    )
+
+    if args.sim:
+        # DES only: model the admission queue + shedding under the shape,
+        # no tree needed — this is how million-user shapes are explored
+        shape = _serve_traffic_shape(args, args.bench_rate or 1000.0)
+        trace = generate_traffic(shape, np.zeros(3), np.ones(3),
+                                 seed=args.traffic_seed,
+                                 max_queries=args.queries)
+        if args.queries and len(trace) >= args.queries:
+            print(f"note: trace capped at {args.queries} queries", file=sys.stderr)
+        sim = simulate_service(
+            trace, admission, BatchPolicy(batch_max, 0.0),
+            ServiceModel(straggler_prob=args.sim_straggler,
+                         crash_prob=args.sim_crash),
+            seed=args.traffic_seed)
+        print(json.dumps(sim.to_dict(), indent=2))
+        _finish_telemetry(telemetry, args)
+        return 0
+
+    try:
+        service = QueryService(cfg)
+    except Exception as exc:  # noqa: BLE001 - bad checkpoint/spec
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.status_file:
+        from .obs.top import StatusWriter
+
+        service.add_status_consumer(StatusWriter(args.status_file).update)
+    box = service.state.particles.bounding_box()
+
+    if args.bench or args.validate:
+        trace_seed = args.traffic_seed
+
+        async def _offline() -> int:
+            if args.bench:
+                probe = generate_traffic(
+                    _serve_traffic_shape(args, 1000.0), box.lo, box.hi,
+                    seed=trace_seed + 1, max_queries=batch_max)
+                capacity = calibrate_capacity(service, probe)
+                base_rate = args.bench_rate or capacity
+                if service.admission.bucket is None:
+                    # shed explicitly at measured capacity rather than queueing
+                    service.admission.bucket = TokenBucket(
+                        capacity, burst=max(8.0, 0.1 * capacity))
+                shape = _serve_traffic_shape(args, base_rate)
+                trace = generate_traffic(shape, box.lo, box.hi,
+                                         seed=trace_seed,
+                                         max_queries=args.queries)
+                spec = None
+                if args.slo:
+                    from .obs import parse_slo_spec
+
+                    spec = parse_slo_spec(args.slo)
+                result = await run_trace(service, trace, pace=True, slo=spec)
+                await service.stop()
+                doc = result.to_dict()
+                doc["capacity_qps"] = round(capacity, 1)
+                doc["offered_qps"] = round(base_rate, 1)
+                print(json.dumps(doc, indent=2))
+                if result.slo is not None:
+                    print(result.slo.summary())
+                    if args.slo_report:
+                        result.slo.write(args.slo_report)
+                        print(f"wrote SLO report to {args.slo_report}")
+                    return 1 if result.slo.violated else 0
+                return 0
+            # --validate: DES model vs an unpaced real replay, same trace
+            shape = _serve_traffic_shape(args, args.bench_rate or 400.0)
+            trace = generate_traffic(shape, box.lo, box.hi, seed=trace_seed,
+                                     max_queries=args.queries)
+            sim = simulate_service(
+                trace, admission, BatchPolicy(batch_max, 0.0),
+                ServiceModel(straggler_prob=args.sim_straggler,
+                             crash_prob=args.sim_crash),
+                seed=trace_seed)
+            real = await run_trace(service, trace, pace=False)
+            await service.stop()
+            delta = accounting_delta(real.accounting, sim.accounting)
+            print(json.dumps({"sim": sim.accounting, "real": real.accounting,
+                              "delta": delta}, indent=2))
+            if delta:
+                print("error: DES and real accounting disagree", file=sys.stderr)
+                return 1
+            print(f"accounting agrees across {len(trace)} queries "
+                  f"(served={real.accounting['served']}, "
+                  f"shed={real.accounting['shed_total']}, "
+                  f"expired={real.accounting['expired']})")
+            return 0
+
+        rc = asyncio.run(_offline())
+        _finish_telemetry(telemetry, args)
+        return rc
+
+    # server mode: run until SIGTERM/SIGINT, then drain + checkpoint
+    socket_path, port = args.socket, args.port
+    if socket_path is None and port is None:
+        socket_path = "repro-serve.sock"
+
+    async def _serve() -> None:
+        server = SocketServer(service, socket_path=socket_path, port=port)
+        await server.start()
+        print(f"serving {service.state.n_particles} particles at "
+              f"{server.where} (executor={cfg.executor}, "
+              f"batch_max={service.batcher.policy.batch_max})", flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (_signal.SIGTERM, _signal.SIGINT):
+            loop.add_signal_handler(sig, stop.set)
+        await stop.wait()
+        print("drain: admission stopped, settling in-flight batches",
+              flush=True)
+        path = await service.drain()
+        if path:
+            print(f"wrote drain checkpoint {path} "
+                  f"(restart with `repro serve --resume {path}`)", flush=True)
+        await server.stop()
+        print(json.dumps(service.admission.counters.to_dict()), flush=True)
+
+    asyncio.run(_serve())
+    _finish_telemetry(telemetry, args)
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -1302,6 +1532,104 @@ def main(argv=None) -> int:
                         "tracks alongside the spans")
     _add_parallel(e)
     e.set_defaults(fn=cmd_explain)
+
+    sv = sub.add_parser(
+        "serve",
+        help="online query service over a resident tree (kNN/range/density "
+             "with admission control, load shedding, and graceful drain)")
+    _add_common(sv, 20_000)
+    sv.add_argument("--dataset", default="clumps",
+                    choices=["clumps", "cube", "plummer", "disk"],
+                    help="generator for the resident dataset")
+    sv.add_argument("--resume", metavar="CKPT", default=None,
+                    help="restore the resident dataset from a drain "
+                         "checkpoint (bit-identical warm restart)")
+    sv.add_argument("--socket", metavar="PATH", default=None,
+                    help="serve JSONL queries on a Unix socket "
+                         "(default: repro-serve.sock)")
+    sv.add_argument("--port", type=int, default=None, metavar="N",
+                    help="serve JSONL queries on 127.0.0.1:N instead of a "
+                         "Unix socket (0 = ephemeral)")
+    adm = sv.add_argument_group("admission control")
+    adm.add_argument("--rate", type=float, default=None, metavar="QPS",
+                     help="token-bucket admission rate (default: unlimited; "
+                          "--bench defaults it to measured capacity)")
+    adm.add_argument("--burst", type=float, default=None, metavar="TOKENS",
+                     help="token-bucket depth (default max(1, rate))")
+    adm.add_argument("--queue-cap", type=int, default=1024, metavar="N",
+                     help="bounded admission queue capacity (default 1024)")
+    adm.add_argument("--shed-slo", metavar="SPEC", default=None,
+                     help="shed new work while the trailing served-latency "
+                          "window burns this SLO (PR 6 grammar, e.g. "
+                          "'lat<20ms,target=0.95,burn=2')")
+    adm.add_argument("--deadline", type=float, default=None, metavar="SECS",
+                     help="default per-query deadline; queued work past it "
+                          "is dropped before execution")
+    ex = sv.add_argument_group("execution")
+    ex.add_argument("--batch-max", type=int, default=None, metavar="N",
+                    help="micro-batch size (default 4 x bucket size)")
+    ex.add_argument("--batch-wait", type=float, default=0.002, metavar="SECS",
+                    help="linger for stragglers before cutting a sub-max "
+                         "batch (default 2ms)")
+    ex.add_argument("--executor", default="inline",
+                    choices=["inline", "threads", "processes"],
+                    help="batch execution mode (supervised for pools)")
+    ex.add_argument("--workers", type=int, default=0, metavar="W",
+                    help="pool worker count (default 2)")
+    ex.add_argument("--exec-deadline", type=float, default=None, metavar="SECS",
+                    help="per-chunk supervisor deadline")
+    ex.add_argument("--breaker-threshold", type=int, default=3, metavar="K",
+                    help="consecutive degraded batches before the circuit "
+                         "breaker falls back to serial (default 3)")
+    ex.add_argument("--breaker-cooldown", type=float, default=5.0,
+                    metavar="SECS", help="breaker open time before a "
+                                         "half-open trial (default 5)")
+    sv.add_argument("--checkpoint-dir", default="checkpoints", metavar="DIR",
+                    help="where the SIGTERM drain checkpoint is written")
+    sv.add_argument("--status-every", type=float, default=1.0, metavar="SECS",
+                    help="status frame interval for --status-file (default 1)")
+    mode = sv.add_mutually_exclusive_group()
+    mode.add_argument("--bench", action="store_true",
+                      help="open-loop load bench against this server "
+                           "(Poisson + burst + heavy-tailed think times), "
+                           "gated by --slo")
+    mode.add_argument("--validate", action="store_true",
+                      help="replay one seeded trace through the DES model "
+                           "and the real server; exit 1 unless the "
+                           "served/shed/expired accounting matches")
+    mode.add_argument("--sim", action="store_true",
+                      help="DES model only (no tree): explore admission + "
+                           "shedding under large traffic shapes")
+    tr = sv.add_argument_group("traffic shape (--bench/--validate/--sim)")
+    tr.add_argument("--bench-rate", type=float, default=None, metavar="QPS",
+                    help="offered base rate (default: measured capacity for "
+                         "--bench, 400 for --validate, 1000 for --sim)")
+    tr.add_argument("--overload", type=float, default=4.0, metavar="X",
+                    help="burst multiplier over the base rate in the middle "
+                         "fifth of the run (default 4)")
+    tr.add_argument("--duration", type=float, default=3.0, metavar="SECS",
+                    help="trace duration (default 3)")
+    tr.add_argument("--queries", type=int, default=None, metavar="N",
+                    help="hard cap on generated queries")
+    tr.add_argument("--think-tail", type=float, default=0.0, metavar="P",
+                    help="probability of a heavy-tailed (Pareto) think-time "
+                         "gap after an arrival")
+    tr.add_argument("--query-deadline", type=float, default=None,
+                    metavar="SECS", help="deadline carried by a fraction of "
+                                         "queries (see --deadline-frac)")
+    tr.add_argument("--deadline-frac", type=float, default=0.0, metavar="F",
+                    help="fraction of queries carrying --query-deadline")
+    tr.add_argument("--ops", default="knn", metavar="LIST",
+                    help="comma list of ops to draw from (knn,range,density)")
+    tr.add_argument("--k", type=int, default=8, help="k for knn/density queries")
+    tr.add_argument("--traffic-seed", type=int, default=0, metavar="SEED")
+    tr.add_argument("--sim-straggler", type=float, default=0.0, metavar="P",
+                    help="DES model: per-batch straggler probability")
+    tr.add_argument("--sim-crash", type=float, default=0.0, metavar="P",
+                    help="DES model: per-batch worker-crash probability")
+    _add_telemetry(sv)
+    _add_slo(sv)
+    sv.set_defaults(fn=cmd_serve)
 
     t = sub.add_parser("top", help="live terminal dashboard")
     t.add_argument("source",

@@ -505,6 +505,24 @@ class Driver:
         )
         return self._ckpt_writer
 
+    def write_final_checkpoint(self) -> str | None:
+        """Best-effort checkpoint at the last completed iteration boundary.
+
+        The CLI's SIGTERM/SIGINT path calls this so an interrupted run
+        stays resumable.  No-op (returns None) unless checkpointing is
+        enabled and the run has materialised particles; a failure to
+        write is swallowed — the process is already exiting on a signal.
+        """
+        if self._ckpt_writer is None or self.particles is None:
+            return None
+        completed = self.reports[-1].iteration if self.reports else -1
+        if completed < 0:
+            return None
+        try:
+            return self._ckpt_writer.write(self, completed)
+        except Exception:  # noqa: BLE001 - shutdown path, best effort
+            return None
+
     def run(self, resume_from=None) -> list[IterationReport]:
         """Run the configured iterations; pass ``resume_from`` (a
         checkpoint path or :class:`~repro.resilience.Checkpoint`) to

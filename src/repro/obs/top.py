@@ -15,6 +15,7 @@ hit rate, and rolling latency quantiles.  Two consumers:
 from __future__ import annotations
 
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -91,6 +92,44 @@ class Dashboard:
                 self._b("exec degraded") + "  "
                 + (acts or "recovery actions fired")
             )
+
+        serve = snap.get("serve") or {}
+        if serve:
+            lines.append("")
+            lines.append(self._b("serve"))
+            depth = serve.get("queue_depth", 0)
+            cap = serve.get("queue_capacity", 0) or 1
+            bar_w = max(10, self.width - 36)
+            state = " DRAINING" if serve.get("draining") else ""
+            lines.append(
+                f"  queue {depth:>6d}/{cap:<6d} {_bar(depth / cap, bar_w)}"
+                + self._b(state)
+            )
+            offered = serve.get("offered", 0)
+            shed = serve.get("shed_total", 0)
+            shed_rate = shed / offered if offered else 0.0
+            lines.append(
+                f"  served {serve.get('served', 0):,}  "
+                f"shed {shed:,} ({shed_rate * 100:.1f}% of {offered:,} offered)  "
+                f"expired {serve.get('expired', 0):,}"
+            )
+            tail = []
+            if serve.get("p50_s") is not None:
+                tail.append(f"p50={_fmt_s(serve['p50_s']).strip()}")
+            if serve.get("p99_s") is not None:
+                tail.append(f"p99={_fmt_s(serve['p99_s']).strip()}")
+            if serve.get("served_per_s") is not None:
+                tail.append(f"{serve['served_per_s']:,.0f} q/s")
+            if tail:
+                lines.append("  latency  " + "  ".join(tail))
+            breaker = serve.get("breaker")
+            if breaker:
+                note = f"  breaker {breaker}"
+                if serve.get("breaker_opened"):
+                    note += f" (opened {serve['breaker_opened']}x)"
+                if serve.get("slo_tripped"):
+                    note += "  SLO-SHEDDING"
+                lines.append(note if breaker == "closed" else self._b(note))
 
         phases: dict[str, float] = snap.get("phases") or {}
         if phases:
@@ -174,6 +213,12 @@ class StatusWriter:
     def update(self, snap: dict[str, Any]) -> None:
         with self.path.open("a") as fh:
             fh.write(json.dumps(dict(snap, schema=STATUS_SCHEMA)) + "\n")
+            # flush + fsync per record: a live follower (`repro top
+            # --follow`) sees each frame as soon as it is written, and a
+            # crash cannot leave the durable feed trailing multiple frames
+            # behind what the server already reported
+            fh.flush()
+            os.fsync(fh.fileno())
         self.written += 1
 
 

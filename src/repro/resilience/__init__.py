@@ -18,6 +18,11 @@ Four layers (mirroring the Charm++/ChaNGa lineage the paper builds on):
 
 ``repro resume <checkpoint>`` (see :mod:`repro.resilience.resume`) rebuilds
 the owning application Driver and continues the run.
+
+:mod:`~repro.resilience.interrupt` turns SIGTERM/SIGINT into a
+:class:`RunInterrupted` exception so long-running CLI commands can write
+a final checkpoint (and dump the flight recorder) before exiting
+``128 + signum`` — an interrupted batch run is resumable, not lost.
 """
 
 from .checkpoint import (
@@ -35,6 +40,7 @@ from .checkpoint import (
     save_checkpoint,
 )
 from .buddy import BuddyStore
+from .interrupt import RunInterrupted, graceful_interrupts
 from .recovery import CrashRecovery, RecoveryReport
 from .audit import (
     ConsistencyError,
@@ -59,6 +65,8 @@ __all__ = [
     "restore_run",
     "save_checkpoint",
     "BuddyStore",
+    "RunInterrupted",
+    "graceful_interrupts",
     "CrashRecovery",
     "RecoveryReport",
     "ConsistencyError",

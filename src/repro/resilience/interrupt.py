@@ -1,0 +1,70 @@
+"""Graceful SIGTERM/SIGINT handling for long-running CLI runs.
+
+``graceful_interrupts()`` swaps in signal handlers that raise
+:class:`RunInterrupted` in the main thread, so a kill lands as an
+exception at a well-defined point in the iteration loop instead of a
+hard process death.  The Driver's crash hook then dumps the armed
+flight recorder, and the CLI writes a final checkpoint (when
+checkpointing is enabled) before exiting ``128 + signum`` — the shell
+convention for death-by-signal — leaving the run resumable.
+
+``RunInterrupted`` derives from ``BaseException`` (like
+``KeyboardInterrupt``) so application-level ``except Exception``
+blocks cannot swallow a shutdown request.
+"""
+
+from __future__ import annotations
+
+import signal
+from contextlib import contextmanager
+from typing import Iterator
+
+DEFAULT_SIGNALS = (signal.SIGTERM, signal.SIGINT)
+
+
+class RunInterrupted(BaseException):
+    """Raised in the main thread when a termination signal arrives."""
+
+    def __init__(self, signum: int) -> None:
+        self.signum = int(signum)
+        super().__init__(f"interrupted by {self.signal_name}")
+
+    @property
+    def signal_name(self) -> str:
+        try:
+            return signal.Signals(self.signum).name
+        except ValueError:  # pragma: no cover - unknown signal number
+            return f"signal {self.signum}"
+
+    @property
+    def exit_code(self) -> int:
+        """The ``128 + N`` shell convention (SIGTERM -> 143, SIGINT -> 130)."""
+        return 128 + self.signum
+
+
+@contextmanager
+def graceful_interrupts(
+    signals: tuple[signal.Signals, ...] = DEFAULT_SIGNALS,
+) -> Iterator[None]:
+    """Convert the given signals into :class:`RunInterrupted` for the
+    duration of the block; previous handlers are restored on exit."""
+
+    def _raise(signum: int, frame) -> None:  # noqa: ARG001 - signal API
+        raise RunInterrupted(signum)
+
+    previous = {}
+    try:
+        for sig in signals:
+            previous[sig] = signal.signal(sig, _raise)
+    except ValueError:
+        # not the main thread (or an embedded interpreter): handlers can't
+        # be installed — run unprotected rather than refuse to run
+        for sig, old in previous.items():
+            signal.signal(sig, old)
+        yield
+        return
+    try:
+        yield
+    finally:
+        for sig, old in previous.items():
+            signal.signal(sig, old)

@@ -1,0 +1,299 @@
+"""Admission control for the query service: token bucket, bounded queue,
+burn-rate shedding, and the conservation accounting the tests pin.
+
+The :class:`AdmissionController` is deliberately a plain synchronous
+object with an explicit clock — the asyncio service and the DES model
+drive the *same* instance type, so the shed/served/expired accounting
+they produce can be compared number-for-number (ISSUE 9 acceptance).
+
+Conservation invariants (property-tested in ``tests/test_serve.py``):
+
+* ``offered == admitted + shed_total`` — every offer is decided once.
+* ``admitted == served + expired + failed + still-queued + in-flight``
+  — admitted work is never silently dropped.
+* the queue never holds more than ``queue_capacity`` entries.
+* a deadline-expired entry is never part of a dispatched batch.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..obs.slo import SLOSpec, parse_slo_spec
+from .protocol import (
+    SHED_DRAINING,
+    SHED_QUEUE,
+    SHED_RATE,
+    SHED_SLO,
+    Query,
+)
+
+ADMITTED = "admitted"
+
+
+class TokenBucket:
+    """Classic token bucket with an explicit clock.
+
+    ``take(now)`` refills ``rate`` tokens per second of elapsed ``now``
+    (monotone non-decreasing; regressions are clamped) up to ``burst``,
+    then spends one token if available.  With the query's *scheduled*
+    arrival offset as ``now``, grant decisions depend only on the
+    traffic trace, not on how fast the caller paces it.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "_last")
+
+    def __init__(self, rate: float, burst: float | None = None) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(1.0, self.rate)
+        if self.burst < 1.0:
+            raise ValueError(f"burst must be >= 1 token, got {self.burst}")
+        self.tokens = self.burst
+        self._last: float | None = None
+
+    def _refill(self, now: float) -> None:
+        if self._last is None:
+            self._last = now
+            return
+        dt = now - self._last
+        if dt > 0:
+            self.tokens = min(self.burst, self.tokens + dt * self.rate)
+            self._last = now
+
+    def take(self, now: float) -> bool:
+        self._refill(now)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+    def time_to_token(self, now: float) -> float:
+        """Seconds until one token is available (0 when already granted)."""
+        self._refill(now)
+        if self.tokens >= 1.0:
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+class BurnRateShedder:
+    """Sheds when the trailing served-latency window burns the SLO.
+
+    Reuses the PR 6 spec grammar (``lat<5ms,target=0.99,burn=1.5``):
+    over the last ``window_samples`` served latencies, the burn rate is
+    ``bad_fraction / (1 - target)``; at or above ``burn_limit`` the
+    controller rejects new work until the window cools down.
+    """
+
+    def __init__(self, spec: SLOSpec | str, window_samples: int = 256,
+                 min_samples: int = 32) -> None:
+        self.spec = parse_slo_spec(spec) if isinstance(spec, str) else spec
+        self.window: deque[bool] = deque(maxlen=int(window_samples))
+        self.min_samples = int(min_samples)
+        self.trips = 0
+        self._tripped = False
+
+    def observe(self, latency: float) -> None:
+        self.window.append(latency >= self.spec.threshold)
+        was = self._tripped
+        self._tripped = self._evaluate()
+        if self._tripped and not was:
+            self.trips += 1
+
+    def _evaluate(self) -> bool:
+        n = len(self.window)
+        if n < self.min_samples:
+            return False
+        bad = sum(self.window) / n
+        burn = bad / max(1.0 - self.spec.target, 1e-12)
+        return burn >= self.spec.burn_limit
+
+    @property
+    def tripped(self) -> bool:
+        return self._tripped
+
+    def retry_after(self) -> float:
+        """Rough cool-down: time for the window to turn over at threshold pace."""
+        return max(0.05, self.spec.threshold * len(self.window) * self.spec.window)
+
+
+@dataclass
+class ServeCounters:
+    """Monotone accounting for one service lifetime."""
+
+    offered: int = 0
+    admitted: int = 0
+    served: int = 0
+    expired: int = 0
+    failed: int = 0
+    shed_draining: int = 0
+    shed_queue: int = 0
+    shed_slo: int = 0
+    shed_rate: int = 0
+    max_queue_depth: int = 0
+
+    @property
+    def shed_total(self) -> int:
+        return (self.shed_draining + self.shed_queue
+                + self.shed_slo + self.shed_rate)
+
+    @property
+    def settled(self) -> int:
+        """Admitted queries with a final outcome."""
+        return self.served + self.expired + self.failed
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "offered": self.offered, "admitted": self.admitted,
+            "served": self.served, "expired": self.expired,
+            "failed": self.failed, "shed_total": self.shed_total,
+            "shed_draining": self.shed_draining, "shed_queue": self.shed_queue,
+            "shed_slo": self.shed_slo, "shed_rate": self.shed_rate,
+            "max_queue_depth": self.max_queue_depth,
+        }
+
+    def accounting_key(self) -> dict[str, int]:
+        """The subset the DES-vs-real agreement check compares."""
+        return {"offered": self.offered, "admitted": self.admitted,
+                "served": self.served, "expired": self.expired,
+                "shed_total": self.shed_total}
+
+
+@dataclass
+class QueueEntry:
+    """One admitted query waiting for a batch slot.
+
+    ``arrival`` is in the dispatch clock domain (wall time for the real
+    service, simulated time in the DES) — deadlines count from it.
+    ``ctx`` is opaque caller state (the service parks an asyncio future
+    there; the DES leaves it None).
+    """
+
+    query: Query
+    arrival: float
+    ctx: Any = None
+
+    def expired_at(self, now: float) -> bool:
+        d = self.query.deadline
+        return d is not None and (now - self.arrival) >= d
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Policy knobs, shared verbatim by ``repro serve`` and the DES."""
+
+    queue_capacity: int = 1024
+    rate: float | None = None          # token bucket rate (None = no limiter)
+    burst: float | None = None         # bucket depth (None = max(1, rate))
+    slo: str | None = None             # burn-rate shed spec, PR 6 grammar
+    slo_window_samples: int = 256
+    slo_min_samples: int = 32
+    default_deadline: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+
+
+class AdmissionController:
+    """Bounded admission queue with explicit, ordered shed policy.
+
+    Checks run in a fixed order so two executions over the same trace
+    make identical decisions: draining -> queue capacity -> SLO burn
+    rate -> token bucket.  The bucket is consulted *last* so a query
+    shed for a full queue does not also burn a token.
+    """
+
+    def __init__(self, config: AdmissionConfig) -> None:
+        self.config = config
+        self.queue: deque[QueueEntry] = deque()
+        self.bucket = (TokenBucket(config.rate, config.burst)
+                       if config.rate is not None else None)
+        self.shedder = (BurnRateShedder(config.slo, config.slo_window_samples,
+                                        config.slo_min_samples)
+                        if config.slo else None)
+        self.counters = ServeCounters()
+        self.draining = False
+        #: observed per-query service estimate, drives queue-full retry_after
+        self.service_estimate = 1e-3
+
+    # -- intake -------------------------------------------------------------
+    def offer(self, query: Query, now: float, ctx: Any = None) -> str:
+        """Decide one query: returns ``"admitted"`` or a shed reason."""
+        c = self.counters
+        c.offered += 1
+        if self.draining:
+            c.shed_draining += 1
+            return SHED_DRAINING
+        if len(self.queue) >= self.config.queue_capacity:
+            c.shed_queue += 1
+            return SHED_QUEUE
+        if self.shedder is not None and self.shedder.tripped:
+            c.shed_slo += 1
+            return SHED_SLO
+        if self.bucket is not None:
+            # scheduled arrival offset (when carried) keeps this decision
+            # a pure function of the trace
+            policy_now = query.t if query.t is not None else now
+            if not self.bucket.take(policy_now):
+                c.shed_rate += 1
+                return SHED_RATE
+        if query.deadline is None and self.config.default_deadline is not None:
+            query.deadline = self.config.default_deadline
+        c.admitted += 1
+        self.queue.append(QueueEntry(query, arrival=now, ctx=ctx))
+        if len(self.queue) > c.max_queue_depth:
+            c.max_queue_depth = len(self.queue)
+        return ADMITTED
+
+    def retry_after(self, reason: str, query: Query, now: float) -> float | None:
+        """Back-off hint attached to shed responses (429 Retry-After)."""
+        if reason == SHED_RATE and self.bucket is not None:
+            policy_now = query.t if query.t is not None else now
+            return round(self.bucket.time_to_token(policy_now), 6)
+        if reason == SHED_QUEUE:
+            return round(len(self.queue) * self.service_estimate, 6)
+        if reason == SHED_SLO and self.shedder is not None:
+            return round(self.shedder.retry_after(), 6)
+        if reason == SHED_DRAINING:
+            return None  # server is going away; reconnect, don't retry here
+        return None
+
+    # -- outcome bookkeeping -------------------------------------------------
+    def note_served(self, n: int, latencies: list[float] | None = None) -> None:
+        self.counters.served += n
+        if latencies:
+            if self.shedder is not None:
+                for lat in latencies:
+                    self.shedder.observe(lat)
+            # EWMA of per-query service time for queue-full retry hints
+            for lat in latencies:
+                self.service_estimate += 0.1 * (lat - self.service_estimate)
+
+    def note_expired(self, n: int) -> None:
+        self.counters.expired += n
+
+    def note_failed(self, n: int) -> None:
+        self.counters.failed += n
+
+    def start_drain(self) -> None:
+        self.draining = True
+
+    @property
+    def depth(self) -> int:
+        return len(self.queue)
+
+    def snapshot(self) -> dict[str, Any]:
+        doc: dict[str, Any] = dict(self.counters.to_dict())
+        doc["queue_depth"] = len(self.queue)
+        doc["queue_capacity"] = self.config.queue_capacity
+        doc["draining"] = self.draining
+        if self.bucket is not None:
+            doc["tokens"] = round(self.bucket.tokens, 3)
+        if self.shedder is not None:
+            doc["slo_tripped"] = self.shedder.tripped
+            doc["slo_trips"] = self.shedder.trips
+        return doc

@@ -1,0 +1,70 @@
+"""Micro-batcher: coalesce queued queries into bucket-shaped batches.
+
+ParaTreeT's bucket is the unit of traversal work, so the server batches
+queries to (a small multiple of) the tree's bucket size before handing
+them to the supervised executor.  Deadline-expired entries are dropped
+*here*, before any execution cost is paid — the batcher is the single
+place an admitted query can die without running.
+
+Like :class:`~repro.serve.admission.AdmissionController`, this is a
+plain synchronous object driven by both the asyncio service and the DES
+model, so both report identical expiry accounting for the same trace.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from .admission import QueueEntry
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """How large a batch may grow and how long the server lingers for one.
+
+    ``batch_max`` defaults to a small multiple of the tree bucket size
+    (set by the service once the tree is resident).  ``batch_wait`` is
+    the linger: with a non-empty but sub-max queue the dispatcher waits
+    this long for stragglers before cutting a batch.
+    """
+
+    batch_max: int = 64
+    batch_wait: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.batch_max < 1:
+            raise ValueError("batch_max must be >= 1")
+        if self.batch_wait < 0:
+            raise ValueError("batch_wait must be >= 0")
+
+
+class MicroBatcher:
+    """Pops FIFO entries from the admission queue into one batch."""
+
+    def __init__(self, policy: BatchPolicy | None = None) -> None:
+        self.policy = policy or BatchPolicy()
+        self.batches_formed = 0
+        self.dropped_expired = 0
+
+    def form_batch(
+        self, queue: deque[QueueEntry], now: float,
+    ) -> tuple[list[QueueEntry], list[QueueEntry]]:
+        """Pop up to ``batch_max`` live entries; return ``(batch, expired)``.
+
+        Expired entries encountered while filling the batch are popped
+        and returned separately — they never reach the executor.  Both
+        lists preserve queue (FIFO) order.
+        """
+        batch: list[QueueEntry] = []
+        expired: list[QueueEntry] = []
+        while queue and len(batch) < self.policy.batch_max:
+            entry = queue.popleft()
+            if entry.expired_at(now):
+                expired.append(entry)
+            else:
+                batch.append(entry)
+        if batch:
+            self.batches_formed += 1
+        self.dropped_expired += len(expired)
+        return batch, expired

@@ -1,0 +1,142 @@
+"""DES model of the serving pipeline: admission + batching + execution.
+
+The model reuses the *actual* policy objects — the same
+:class:`~repro.serve.admission.AdmissionController` and
+:class:`~repro.serve.batcher.MicroBatcher` classes the real service
+drives — so the shed/served/deadline-missed accounting it produces is
+the policy's accounting, not a re-implementation's.  Only execution
+timing is modeled: a per-batch cost with seeded stragglers and worker
+crashes (the PR 3/5 failure vocabulary at serving scale).
+
+This is the second validation leg of ISSUE 9: run a million-user
+traffic shape through the model in seconds, then replay the same seeded
+trace against the real server scaled down and assert the accounting
+matches (see :func:`repro.serve.bench.accounting_delta`).
+
+Determinism: single-threaded event loop, one seeded RNG, and admission
+decisions keyed off each query's scheduled arrival offset ``t``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..obs import Log2Histogram
+from ..runtime.des import Simulator
+from .admission import AdmissionConfig, AdmissionController
+from .batcher import BatchPolicy, MicroBatcher
+from .traffic import TrafficTrace
+
+
+@dataclass(frozen=True)
+class ServiceModel:
+    """Simulated execution timing for one batch server."""
+
+    batch_overhead: float = 2e-4     # fixed dispatch cost per batch (s)
+    per_query: float = 5e-5          # marginal cost per query (s)
+    straggler_prob: float = 0.0      # batch hits a slow worker
+    straggler_factor: float = 8.0    # and takes this much longer
+    crash_prob: float = 0.0          # batch's worker dies mid-flight
+    crash_restart: float = 0.05      # pool rebuild delay before re-dispatch
+
+
+@dataclass
+class ServeSimResult:
+    """Accounting and tails from one simulated run."""
+
+    counters: dict[str, int]
+    accounting: dict[str, int]
+    makespan: float
+    latency: Log2Histogram
+    batches: int = 0
+    stragglers: int = 0
+    crashes: int = 0
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        q = (self.latency.quantiles((0.5, 0.99))
+             if self.latency.count else {})
+        return {
+            "counters": self.counters,
+            "makespan_s": round(self.makespan, 6),
+            "batches": self.batches,
+            "stragglers": self.stragglers,
+            "crashes": self.crashes,
+            "p50_s": q.get("p50"), "p99_s": q.get("p99"),
+            **self.meta,
+        }
+
+
+def simulate_service(trace: TrafficTrace, admission: AdmissionConfig,
+                     batch_policy: BatchPolicy | None = None,
+                     model: ServiceModel | None = None,
+                     seed: int = 0) -> ServeSimResult:
+    """Run one seeded trace through the modeled pipeline."""
+    model = model or ServiceModel()
+    controller = AdmissionController(admission)
+    batcher = MicroBatcher(batch_policy or BatchPolicy())
+    sim = Simulator()
+    rng = np.random.default_rng(seed)
+    latency = Log2Histogram()
+    stats = {"batches": 0, "stragglers": 0, "crashes": 0}
+    busy = [False]  # one batch in flight at a time, like the real dispatcher
+
+    def service_time(n: int) -> float:
+        dt = model.batch_overhead + model.per_query * n
+        if model.straggler_prob > 0.0 and rng.random() < model.straggler_prob:
+            stats["stragglers"] += 1
+            dt *= model.straggler_factor
+        return dt
+
+    def dispatch() -> None:
+        if busy[0] or not controller.queue:
+            return
+        batch, expired = batcher.form_batch(controller.queue, sim.now)
+        if expired:
+            controller.note_expired(len(expired))
+        if not batch:
+            if controller.queue:
+                dispatch()
+            return
+        busy[0] = True
+        stats["batches"] += 1
+        dt = service_time(len(batch))
+        if model.crash_prob > 0.0 and rng.random() < model.crash_prob:
+            # worker dies: supervision rebuilds the pool and re-dispatches,
+            # so the batch still completes — late, not lost
+            stats["crashes"] += 1
+            dt += model.crash_restart + service_time(len(batch))
+
+        def complete() -> None:
+            busy[0] = False
+            lats = [sim.now - entry.arrival for entry in batch]
+            for lat in lats:
+                latency.observe(lat)
+            controller.note_served(len(batch), lats)
+            dispatch()
+
+        sim.schedule(dt, complete)
+
+    for query in trace.queries:
+        def arrive(q=query) -> None:
+            controller.offer(q, sim.now)
+            dispatch()
+        sim.at(query.t, arrive)
+
+    makespan = sim.run()
+    # conservation check the model must always satisfy
+    c = controller.counters
+    assert c.offered == c.admitted + c.shed_total, "offer accounting broken"
+    assert c.admitted == c.settled + len(controller.queue), \
+        "admitted work leaked"
+    return ServeSimResult(
+        counters=c.to_dict(), accounting=c.accounting_key(),
+        makespan=makespan, latency=latency,
+        batches=stats["batches"], stragglers=stats["stragglers"],
+        crashes=stats["crashes"],
+        meta={"events": sim.events_processed, "seed": seed,
+              "n_queries": len(trace)},
+    )

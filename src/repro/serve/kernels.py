@@ -1,0 +1,152 @@
+"""Point-query kernels over the resident tree.
+
+The batch pipelines answer particle-to-particle queries through the
+Visitor protocol; the server instead answers *arbitrary-point* queries,
+so these kernels walk the SoA tree directly with a nearest-first stack
+(the classic prune: skip any node whose box is farther than the current
+k-th neighbour).  They are pure functions of ``(tree, query)`` — no
+clocks, no RNG — which is what makes drained-and-resumed servers return
+bit-identical answers.
+
+Results are returned JSON-ready (lists of Python ints/floats) because
+they cross both the socket protocol and process-pool pickling.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..geometry import point_box_distance_sq
+from ..trees.node import NO_NODE, Tree
+
+
+def knn_point(tree: Tree, point: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """k nearest particles to ``point``: ``(indices (k,), dist_sq (k,))``.
+
+    Output is sorted by ``(dist_sq, index)`` — a canonical order, so two
+    servers over byte-identical trees agree even on distance ties.
+    """
+    pos = tree.particles.position
+    lo, hi = tree.box_lo, tree.box_hi
+    first, nkids = tree.first_child, tree.n_children
+    pstart, pend = tree.pstart, tree.pend
+
+    best_d2 = np.full(k, np.inf)
+    best_idx = np.full(k, -1, dtype=np.int64)
+    worst = np.inf
+    stack = [0]
+    while stack:
+        node = stack.pop()
+        if float(point_box_distance_sq(lo[node], hi[node], point)) > worst:
+            continue
+        if first[node] == NO_NODE:
+            cand = np.arange(pstart[node], pend[node], dtype=np.int64)
+            if cand.size == 0:
+                continue
+            delta = pos[cand] - point
+            d2 = np.einsum("ij,ij->i", delta, delta)
+            all_d2 = np.concatenate([best_d2, d2])
+            all_idx = np.concatenate([best_idx, cand])
+            if all_d2.size > k:
+                sel = np.argpartition(all_d2, k - 1)[:k]
+                best_d2, best_idx = all_d2[sel], all_idx[sel]
+            else:
+                best_d2, best_idx = all_d2, all_idx
+            worst = float(best_d2.max())
+        else:
+            kids = np.arange(first[node], first[node] + nkids[node])
+            kd2 = point_box_distance_sq(lo[kids], hi[kids], point)
+            # push farthest first so the nearest child pops first
+            for j in np.argsort(-kd2, kind="stable"):
+                if kd2[j] <= worst:
+                    stack.append(int(kids[j]))
+    order = np.lexsort((best_idx, best_d2))
+    return best_idx[order], best_d2[order]
+
+
+def range_point(tree: Tree, point: np.ndarray, radius: float,
+                max_results: int | None = None) -> np.ndarray:
+    """Indices of particles within ``radius`` of ``point`` (ascending).
+
+    ``max_results`` caps the *returned* list (the count in the result
+    payload is still exact) so a pathological radius cannot produce an
+    unbounded response line.
+    """
+    pos = tree.particles.position
+    lo, hi = tree.box_lo, tree.box_hi
+    first, nkids = tree.first_child, tree.n_children
+    pstart, pend = tree.pstart, tree.pend
+    r2 = float(radius) * float(radius)
+
+    hits: list[np.ndarray] = []
+    stack = [0]
+    while stack:
+        node = stack.pop()
+        if float(point_box_distance_sq(lo[node], hi[node], point)) > r2:
+            continue
+        if first[node] == NO_NODE:
+            cand = np.arange(pstart[node], pend[node], dtype=np.int64)
+            if cand.size == 0:
+                continue
+            delta = pos[cand] - point
+            d2 = np.einsum("ij,ij->i", delta, delta)
+            inside = cand[d2 <= r2]
+            if inside.size:
+                hits.append(inside)
+        else:
+            stack.extend(int(c) for c in
+                         range(first[node], first[node] + nkids[node]))
+    if not hits:
+        return np.empty(0, dtype=np.int64)
+    out = np.sort(np.concatenate(hits))
+    if max_results is not None and out.size > max_results:
+        out = out[:max_results]
+    return out
+
+
+def density_point(tree: Tree, point: np.ndarray, k: int) -> tuple[float, float]:
+    """kNN mass-density estimate at ``point``: ``(rho, h)``.
+
+    ``h`` is the k-th neighbour distance; ``rho`` is the neighbour mass
+    inside the ball over its volume (the simple SPH gather estimate).
+    """
+    idx, d2 = knn_point(tree, point, k)
+    h = float(np.sqrt(d2[-1]))
+    msum = float(tree.particles.mass[idx].sum())
+    volume = (4.0 / 3.0) * np.pi * max(h, 1e-300) ** 3
+    return msum / volume, h
+
+
+def execute_queries(tree: Tree, queries: list[dict[str, Any]],
+                    max_results: int = 256) -> list[dict[str, Any]]:
+    """Run one chunk of wire-format queries; one result dict per query.
+
+    This is the function the executor ships to workers, so it takes and
+    returns only plain (picklable, JSON-ready) structures.  A per-query
+    failure becomes an ``{"error": ...}`` result instead of poisoning
+    the chunk.
+    """
+    out: list[dict[str, Any]] = []
+    for doc in queries:
+        try:
+            point = np.asarray(doc["point"], dtype=np.float64)
+            op = doc["op"]
+            if op == "knn":
+                idx, d2 = knn_point(tree, point, int(doc["k"]))
+                out.append({"idx": [int(i) for i in idx],
+                            "dist": [float(np.sqrt(d)) for d in d2]})
+            elif op == "range":
+                idx = range_point(tree, point, float(doc["radius"]),
+                                  max_results=max_results)
+                out.append({"count": int(idx.size),
+                            "idx": [int(i) for i in idx]})
+            elif op == "density":
+                rho, h = density_point(tree, point, int(doc["k"]))
+                out.append({"rho": float(rho), "h": float(h)})
+            else:
+                out.append({"error": f"unknown op {op!r}"})
+        except Exception as exc:  # noqa: BLE001 - per-query isolation
+            out.append({"error": f"{type(exc).__name__}: {exc}"})
+    return out

@@ -1,0 +1,158 @@
+"""Socket front-end (JSONL over Unix or TCP) and the in-process client.
+
+The wire format is one JSON object per line in each direction; responses
+carry the query's ``id`` so clients may pipeline.  A malformed line gets
+an ``error`` response instead of dropping the connection — one bad
+client line must not cost the stream.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from pathlib import Path
+from typing import Any
+
+from .protocol import (
+    ProtocolError,
+    Query,
+    Response,
+    decode_query_line,
+    encode_line,
+)
+from .service import QueryService
+
+MAX_LINE = 1 << 20  # 1 MiB per query line is already absurd
+
+
+class InProcessClient:
+    """Submit dataclass queries straight into the service (tests, DES, bench)."""
+
+    def __init__(self, service: QueryService) -> None:
+        self.service = service
+
+    async def query(self, query: Query) -> Response:
+        return await self.service.submit(query)
+
+    async def query_many(self, queries: list[Query]) -> list[Response]:
+        """Submit in order without pacing; responses in query order."""
+        return list(await asyncio.gather(
+            *(self.service.submit(q) for q in queries)))
+
+
+class SocketServer:
+    """Serve a :class:`QueryService` over a Unix socket or TCP port."""
+
+    def __init__(self, service: QueryService, socket_path: str | None = None,
+                 host: str = "127.0.0.1", port: int | None = None) -> None:
+        if (socket_path is None) == (port is None):
+            raise ValueError("pass exactly one of socket_path or port")
+        self.service = service
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self.connections = 0
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> None:
+        await self.service.start()
+        if self.socket_path is not None:
+            Path(self.socket_path).unlink(missing_ok=True)
+            self._server = await asyncio.start_unix_server(
+                self._handle, path=self.socket_path)
+        else:
+            self._server = await asyncio.start_server(
+                self._handle, host=self.host, port=self.port)
+
+    @property
+    def where(self) -> str:
+        if self.socket_path is not None:
+            return f"unix:{self.socket_path}"
+        assert self._server is not None
+        port = self._server.sockets[0].getsockname()[1]
+        return f"tcp:{self.host}:{port}"
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self.socket_path is not None:
+            Path(self.socket_path).unlink(missing_ok=True)
+        await self.service.stop()
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        self.connections += 1
+        write_lock = asyncio.Lock()
+        pending: set[asyncio.Task] = set()
+
+        async def answer(query: Query) -> None:
+            response = await self.service.submit(query)
+            async with write_lock:
+                writer.write(encode_line(response.to_wire()))
+                await writer.drain()
+
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, asyncio.LimitOverrunError):
+                    break
+                if not line:
+                    break
+                if len(line) > MAX_LINE or not line.strip():
+                    continue
+                try:
+                    query = decode_query_line(line)
+                except ProtocolError as exc:
+                    async with write_lock:
+                        writer.write(encode_line(Response(
+                            id="", status="error", error=str(exc)).to_wire()))
+                        await writer.drain()
+                    continue
+                task = asyncio.ensure_future(answer(query))
+                pending.add(task)
+                task.add_done_callback(pending.discard)
+        finally:
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+
+async def socket_query(where: str, queries: list[dict[str, Any]],
+                       timeout: float = 30.0) -> list[dict[str, Any]]:
+    """Tiny client helper: send wire-format queries, gather all replies.
+
+    ``where`` is ``unix:PATH`` or ``tcp:HOST:PORT`` (as printed by the
+    server).  Used by the CI smoke job and tests; replies come back in
+    arrival order, keyed by ``id``.
+    """
+    if where.startswith("unix:"):
+        reader, writer = await asyncio.open_unix_connection(where[5:])
+    elif where.startswith("tcp:"):
+        _, host, port = where.split(":")
+        reader, writer = await asyncio.open_connection(host, int(port))
+    else:
+        raise ValueError(f"bad address {where!r} (expected unix:... or tcp:...)")
+    try:
+        for doc in queries:
+            writer.write(encode_line(doc))
+        await writer.drain()
+        replies = []
+        for _ in range(len(queries)):
+            line = await asyncio.wait_for(reader.readline(), timeout)
+            if not line:
+                break
+            replies.append(json.loads(line))
+        return replies
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass

@@ -1,0 +1,266 @@
+"""The long-lived asyncio query service.
+
+One dispatcher task owns the pipeline: admission queue -> micro-batch
+(deadline-expired work dropped here) -> supervised executor.  Batches
+execute one at a time on a dedicated dispatch thread, so backpressure
+is real — when execution falls behind, the admission queue fills and
+the shed policy takes over instead of memory growing without bound.
+
+Drain protocol (SIGTERM path): :meth:`QueryService.drain` stops
+admission (new offers shed with reason ``draining``), waits for the
+queue and in-flight batch to settle, then writes a PR 4 checkpoint of
+the tree-ordered particle arrays.  ``repro serve --resume`` rebuilds a
+bit-identical tree from it, so answers before and after the restart are
+byte-for-byte equal.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from ..exec.supervise import SupervisorConfig
+from ..obs import Log2Histogram
+from ..obs.telemetry import Telemetry, get_telemetry
+from .admission import AdmissionConfig, AdmissionController, QueueEntry
+from .batcher import BatchPolicy, MicroBatcher
+from .executor import BatchExecutor, CircuitBreaker
+from .protocol import (
+    STATUS_OK,
+    Query,
+    Response,
+    error_response,
+    expired_response,
+    shed_response,
+)
+from .resident import ResidentState, build_resident_state, checkpoint_resident
+
+SERVE_STATUS_PIPELINE = "serve"
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything a server needs, in one picklable bundle."""
+
+    dataset: dict[str, Any] = field(default_factory=lambda: {
+        "kind": "clumps", "n": 20000, "seed": 1,
+        "tree_type": "oct", "bucket_size": 16,
+    })
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    batch_max: int | None = None       # None = 4 x tree bucket size
+    batch_wait: float = 0.002
+    executor: str = "inline"           # inline | threads | processes
+    workers: int = 2
+    exec_deadline: float | None = None  # per-chunk supervisor deadline
+    max_retries: int = 2
+    breaker_threshold: int = 3
+    breaker_cooldown: float = 5.0
+    checkpoint_dir: str | None = None
+    status_every: float = 1.0
+    max_results: int = 256
+    max_k: int = 256
+
+
+class QueryService:
+    """In-process service object; the socket server and DES bench wrap it."""
+
+    def __init__(self, config: ServeConfig,
+                 telemetry: Telemetry | None = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.config = config
+        self.telemetry = telemetry or get_telemetry()
+        self.clock = clock
+        self.state: ResidentState = build_resident_state(config.dataset)
+        self.admission = AdmissionController(config.admission)
+        batch_max = config.batch_max or 4 * self.state.tree.bucket_size
+        self.batcher = MicroBatcher(BatchPolicy(batch_max=batch_max,
+                                                batch_wait=config.batch_wait))
+        self.executor = BatchExecutor(
+            self.state, mode=config.executor, workers=config.workers,
+            supervisor_config=SupervisorConfig(
+                chunk_deadline=config.exec_deadline,
+                max_chunk_retries=config.max_retries),
+            breaker=CircuitBreaker(config.breaker_threshold,
+                                   config.breaker_cooldown, clock=clock),
+            max_results=config.max_results,
+        )
+        self.latency = Log2Histogram()
+        self.invalid = 0
+        self.status_frames = 0
+        self._status_consumers: list[Callable[[dict[str, Any]], None]] = []
+        self._wake = asyncio.Event()
+        self._drained = asyncio.Event()
+        self._inflight = 0
+        self._started = False
+        self._stopping = False
+        self._tasks: list[asyncio.Task] = []
+        self._dispatch = ThreadPoolExecutor(max_workers=1,
+                                            thread_name_prefix="serve-dispatch")
+        self._t0 = clock()
+        self.telemetry.flight.record(
+            "serve.start", n=self.state.n_particles,
+            executor=config.executor, batch_max=batch_max)
+
+    # -- lifecycle -----------------------------------------------------------
+    async def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self._tasks.append(asyncio.ensure_future(self._batch_loop()))
+        if self.config.status_every > 0:
+            self._tasks.append(asyncio.ensure_future(self._status_loop()))
+
+    async def stop(self) -> None:
+        self._stopping = True
+        self._wake.set()
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        self._tasks.clear()
+        self._dispatch.shutdown(wait=True)
+        self.executor.shutdown()
+
+    async def drain(self, checkpoint_path: str | None = None) -> str | None:
+        """Stop admission, settle in-flight work, write the drain checkpoint."""
+        self.admission.start_drain()
+        self.telemetry.flight.record("serve.drain",
+                                     queued=self.admission.depth,
+                                     inflight=self._inflight)
+        self._wake.set()
+        await self._drained.wait()
+        path = checkpoint_path
+        if path is None and self.config.checkpoint_dir:
+            path = str(Path(self.config.checkpoint_dir) / "serve_ckpt.npz")
+        if path is not None:
+            # no run-specific metadata in the checkpoint: two drains of the
+            # same resident state are byte-identical (`repro audit A B`)
+            Path(path).parent.mkdir(parents=True, exist_ok=True)
+            checkpoint_resident(self.state, path)
+            self.telemetry.flight.record("serve.checkpoint", path=str(path))
+        self.emit_status()  # final frame showing the drained state
+        return path
+
+    # -- intake --------------------------------------------------------------
+    async def submit(self, query: Query) -> Response:
+        """Admit (or shed) one query and await its response."""
+        now = self.clock()
+        bad = query.validate(self.state.n_particles, self.config.max_k)
+        if bad is not None:
+            self.invalid += 1
+            return error_response(query, bad)
+        future: asyncio.Future[Response] = asyncio.get_running_loop().create_future()
+        verdict = self.admission.offer(query, now, ctx=future)
+        if verdict != "admitted":
+            retry = self.admission.retry_after(verdict, query, now)
+            self.telemetry.flight.record("serve.shed", reason=verdict,
+                                         query=query.id)
+            return shed_response(query, verdict, retry)
+        self._wake.set()
+        return await future
+
+    # -- dispatcher ----------------------------------------------------------
+    def _resolve(self, entry: QueueEntry, response: Response) -> None:
+        future = entry.ctx
+        if future is not None and not future.done():
+            future.set_result(response)
+
+    async def _batch_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while not self._stopping:
+            if not self.admission.queue:
+                if self.admission.draining and self._inflight == 0:
+                    self._drained.set()
+                self._wake.clear()
+                await self._wake.wait()
+                continue
+            policy = self.batcher.policy
+            if (len(self.admission.queue) < policy.batch_max
+                    and not self.admission.draining and policy.batch_wait > 0):
+                await asyncio.sleep(policy.batch_wait)  # linger for stragglers
+            now = self.clock()
+            batch, expired = self.batcher.form_batch(self.admission.queue, now)
+            if expired:
+                self.admission.note_expired(len(expired))
+                self.telemetry.flight.record("serve.expired", n=len(expired))
+                for entry in expired:
+                    self._resolve(entry, expired_response(
+                        entry.query, waited=round(now - entry.arrival, 6)))
+            if not batch:
+                continue
+            self._inflight = len(batch)
+            wire = [entry.query.to_wire() for entry in batch]
+            t_exec = self.clock()
+            try:
+                results = await loop.run_in_executor(
+                    self._dispatch, self.executor.execute, wire)
+            except Exception as exc:  # noqa: BLE001 - keep serving
+                results = [{"error": f"{type(exc).__name__}: {exc}"}] * len(batch)
+            t_done = self.clock()
+            self._inflight = 0
+            if len(results) != len(batch):
+                results = [{"error": "executor returned wrong batch size"}] * len(batch)
+            service_s = t_done - t_exec
+            latencies: list[float] = []
+            failed = 0
+            for entry, doc in zip(batch, results):
+                latency = t_done - entry.arrival
+                if "error" in doc:
+                    failed += 1
+                    self._resolve(entry, error_response(entry.query, doc["error"]))
+                    continue
+                latencies.append(latency)
+                self.latency.observe(latency)
+                self._resolve(entry, Response(
+                    id=entry.query.id, status=STATUS_OK, result=doc,
+                    queue_s=round(t_exec - entry.arrival, 6),
+                    service_s=round(service_s, 6)))
+            self.admission.note_served(len(latencies), latencies)
+            if failed:
+                self.admission.note_failed(failed)
+            self.telemetry.flight.record("serve.batch", n=len(batch),
+                                         service_s=round(service_s, 6),
+                                         failed=failed)
+
+    # -- status --------------------------------------------------------------
+    def add_status_consumer(self, consumer: Callable[[dict[str, Any]], None]) -> None:
+        self._status_consumers.append(consumer)
+
+    def snapshot(self) -> dict[str, Any]:
+        """One ``repro.status/1`` frame with the ``serve`` panel section."""
+        q = self.latency.quantiles((0.5, 0.99)) if self.latency.count else {}
+        counters = self.admission.counters
+        uptime = self.clock() - self._t0
+        return {
+            "pipeline": SERVE_STATUS_PIPELINE,
+            "iteration": self.status_frames,
+            "n_particles": self.state.n_particles,
+            "serve": {
+                **self.admission.snapshot(),
+                "inflight": self._inflight,
+                "invalid": self.invalid,
+                "p50_s": q.get("p50"),
+                "p99_s": q.get("p99"),
+                "served_per_s": (round(counters.served / uptime, 2)
+                                 if uptime > 0 else 0.0),
+                **self.executor.snapshot(),
+            },
+        }
+
+    def emit_status(self) -> None:
+        snap = self.snapshot()
+        self.status_frames += 1
+        for consumer in self._status_consumers:
+            consumer(snap)
+
+    async def _status_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.status_every)
+            self.emit_status()

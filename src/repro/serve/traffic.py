@@ -1,0 +1,96 @@
+"""Seeded open-loop traffic generator.
+
+Open-loop means arrivals follow the *schedule*, not the server: a slow
+server does not slow the offered load down, which is exactly the regime
+where admission control has to shed instead of queueing unboundedly.
+
+The shape composes three ingredients from the serving literature:
+Poisson arrivals at a base rate, a multiplicative burst window (the 4x
+overload of the acceptance criteria), and heavy-tailed (Pareto) think
+times that clump arrivals the way real users do.  Everything is drawn
+from one seeded generator, so a trace is reproducible and can be fed to
+both the real server and the DES model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .protocol import Query
+
+
+@dataclass(frozen=True)
+class TrafficShape:
+    """Knobs for one seeded trace."""
+
+    rate: float                      # base arrivals per second
+    duration: float                  # trace length in seconds
+    burst_factor: float = 1.0        # rate multiplier inside the burst window
+    burst_window: tuple[float, float] = (0.4, 0.6)  # fractions of duration
+    think_tail: float = 0.0          # probability of a Pareto think-time gap
+    think_alpha: float = 1.5         # Pareto tail index (smaller = heavier)
+    think_scale: float = 0.02        # Pareto scale in seconds
+    deadline: float | None = None    # relative deadline for tagged queries
+    deadline_frac: float = 0.0       # fraction of queries carrying it
+    ops: tuple[str, ...] = ("knn",)
+    k: int = 8
+    radius: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0 or self.duration <= 0:
+            raise ValueError("rate and duration must be positive")
+        if self.burst_factor < 1.0:
+            raise ValueError("burst_factor must be >= 1")
+
+
+@dataclass
+class TrafficTrace:
+    """The generated schedule: queries sorted by arrival offset ``t``."""
+
+    queries: list[Query]
+    shape: TrafficShape
+    seed: int = 0
+    meta: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+
+def generate_traffic(shape: TrafficShape, domain_lo: np.ndarray,
+                     domain_hi: np.ndarray, seed: int = 0,
+                     max_queries: int | None = None) -> TrafficTrace:
+    """Draw one seeded trace; query points are uniform in the domain box."""
+    rng = np.random.default_rng(seed)
+    lo = np.asarray(domain_lo, dtype=np.float64)
+    hi = np.asarray(domain_hi, dtype=np.float64)
+    b0 = shape.burst_window[0] * shape.duration
+    b1 = shape.burst_window[1] * shape.duration
+
+    queries: list[Query] = []
+    t = 0.0
+    i = 0
+    while True:
+        rate = shape.rate * (shape.burst_factor if b0 <= t < b1 else 1.0)
+        t += float(rng.exponential(1.0 / rate))
+        if shape.think_tail > 0.0 and rng.random() < shape.think_tail:
+            t += float(shape.think_scale * (rng.pareto(shape.think_alpha) + 1.0))
+        if t >= shape.duration:
+            break
+        point = lo + rng.random(3) * (hi - lo)
+        op = shape.ops[int(rng.integers(len(shape.ops)))]
+        deadline = (shape.deadline
+                    if shape.deadline_frac > 0.0
+                    and rng.random() < shape.deadline_frac else None)
+        queries.append(Query(id=f"q{i:07d}", op=op, point=point, k=shape.k,
+                             radius=shape.radius, deadline=deadline, t=t))
+        i += 1
+        if max_queries is not None and i >= max_queries:
+            break
+
+    return TrafficTrace(queries=queries, shape=shape, seed=seed,
+                        meta={"burst_s": (b0, b1)})

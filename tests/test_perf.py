@@ -387,6 +387,40 @@ class TestBenchCli:
         bad.write_text("[]")
         assert main(["bench", "compare", str(bad), str(bad)]) == 2
 
+    def test_compare_missing_baseline_one_line_error(self, tmp_path, capsys):
+        """A missing file names the role and the path in one line — no
+        traceback, exit 2 (usage error, not a regression failure)."""
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps(_suite_with_timer(1e-3)))
+        missing = tmp_path / "nope" / "BENCH_main.json"
+        assert main(["bench", "compare", str(missing), str(good)]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert f"error: baseline BENCH file not found: {missing}" in err
+        assert "Traceback" not in err
+
+    def test_compare_missing_new_file_names_role(self, tmp_path, capsys):
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps(_suite_with_timer(1e-3)))
+        missing = tmp_path / "BENCH_pr.json"
+        assert main(["bench", "compare", str(good), str(missing)]) == 2
+        assert f"error: new BENCH file not found: {missing}" in \
+            capsys.readouterr().err
+
+    def test_compare_newer_schema_hints_regenerate(self, tmp_path, capsys):
+        """A file written by a newer build fails with the schema_version
+        in the message and a hint to regenerate, instead of a KeyError
+        deep inside the comparator."""
+        future = dict(_suite_with_timer(1e-3), schema_version=99)
+        base, new = tmp_path / "base.json", tmp_path / "new.json"
+        base.write_text(json.dumps(_suite_with_timer(1e-3)))
+        new.write_text(json.dumps(future))
+        assert main(["bench", "compare", str(base), str(new)]) == 2
+        err = capsys.readouterr().err
+        assert "error: new BENCH file" in err
+        assert "schema_version" in err
+        assert "newer build" in err and "repro bench run" in err
+
     def test_list_names_all_registered_benchmarks(self, capsys):
         assert main(["bench", "list"]) == 0
         out = capsys.readouterr().out
