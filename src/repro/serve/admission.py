@@ -236,7 +236,8 @@ class AdmissionController:
             return SHED_SLO
         if self.bucket is not None:
             # scheduled arrival offset (when carried) keeps this decision
-            # a pure function of the trace
+            # a pure function of the trace; only trusted in-process
+            # submitters carry ``t`` — SocketServer strips it on decode
             policy_now = query.t if query.t is not None else now
             if not self.bucket.take(policy_now):
                 c.shed_rate += 1

@@ -70,9 +70,10 @@ def range_point(tree: Tree, point: np.ndarray, radius: float,
                 max_results: int | None = None) -> np.ndarray:
     """Indices of particles within ``radius`` of ``point`` (ascending).
 
-    ``max_results`` caps the *returned* list (the count in the result
-    payload is still exact) so a pathological radius cannot produce an
-    unbounded response line.
+    ``max_results`` caps the *returned* array so a pathological radius
+    cannot produce an unbounded response line.  Callers that need the
+    exact hit count must take it before capping — ``execute_queries``
+    does, reporting an exact ``count`` plus a ``truncated`` flag.
     """
     pos = tree.particles.position
     lo, hi = tree.box_lo, tree.box_hi
@@ -138,10 +139,13 @@ def execute_queries(tree: Tree, queries: list[dict[str, Any]],
                 out.append({"idx": [int(i) for i in idx],
                             "dist": [float(np.sqrt(d)) for d in d2]})
             elif op == "range":
-                idx = range_point(tree, point, float(doc["radius"]),
-                                  max_results=max_results)
-                out.append({"count": int(idx.size),
-                            "idx": [int(i) for i in idx]})
+                idx = range_point(tree, point, float(doc["radius"]))
+                res: dict[str, Any] = {"count": int(idx.size)}
+                if idx.size > max_results:
+                    idx = idx[:max_results]
+                    res["truncated"] = True
+                res["idx"] = [int(i) for i in idx]
+                out.append(res)
             elif op == "density":
                 rho, h = density_point(tree, point, int(doc["k"]))
                 out.append({"rho": float(rho), "h": float(h)})

@@ -59,6 +59,11 @@ class Query:
     start).  When present, admission control consumes ``t`` instead of
     the wall clock, which makes rate-limit decisions a pure function of
     the traffic trace — the property the DES validation relies on.
+
+    ``t`` is only honoured for trusted in-process submitters (bench,
+    DES, tests).  The socket front-end strips it on decode: an attacker
+    carrying a huge ``t`` would otherwise advance the token bucket's
+    clock far into the future and starve every honest client.
     """
 
     id: str

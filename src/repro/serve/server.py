@@ -24,6 +24,44 @@ from .service import QueryService
 
 MAX_LINE = 1 << 20  # 1 MiB per query line is already absurd
 
+_OVERSIZED = object()  # sentinel yielded for a line longer than MAX_LINE
+
+
+async def _iter_lines(reader: asyncio.StreamReader):
+    """Yield complete lines, or ``_OVERSIZED`` once per over-long line.
+
+    Hand-rolled buffering instead of ``StreamReader.readline`` because
+    readline raises ``ValueError`` on a line longer than the stream
+    limit (64 KiB by default) and leaves the buffer out of sync — one
+    over-long line would cost the whole connection.  Here it costs one
+    error response: the offending bytes are discarded up to the next
+    newline and the stream continues.
+    """
+    buf = bytearray()
+    skipping = False
+    while True:
+        nl = buf.find(b"\n")
+        if nl >= 0:
+            line = bytes(buf[: nl + 1])
+            del buf[: nl + 1]
+            if skipping or nl > MAX_LINE:
+                skipping = False
+                yield _OVERSIZED
+            else:
+                yield line
+            continue
+        if skipping:
+            buf.clear()
+        elif len(buf) > MAX_LINE:
+            skipping = True
+            buf.clear()
+        chunk = await reader.read(1 << 16)
+        if not chunk:
+            if buf and not skipping:
+                yield bytes(buf)  # final unterminated line before EOF
+            return
+        buf += chunk
+
 
 class InProcessClient:
     """Submit dataclass queries straight into the service (tests, DES, bench)."""
@@ -87,33 +125,39 @@ class SocketServer:
         write_lock = asyncio.Lock()
         pending: set[asyncio.Task] = set()
 
-        async def answer(query: Query) -> None:
-            response = await self.service.submit(query)
+        async def reply(response: Response) -> None:
             async with write_lock:
                 writer.write(encode_line(response.to_wire()))
                 await writer.drain()
 
+        async def answer(query: Query) -> None:
+            await reply(await self.service.submit(query))
+
         try:
-            while True:
-                try:
-                    line = await reader.readline()
-                except (ConnectionResetError, asyncio.LimitOverrunError):
-                    break
-                if not line:
-                    break
-                if len(line) > MAX_LINE or not line.strip():
+            async for line in _iter_lines(reader):
+                if line is _OVERSIZED:
+                    await reply(Response(
+                        id="", status="error",
+                        error=f"query line exceeds {MAX_LINE} bytes"))
+                    continue
+                if not line.strip():
                     continue
                 try:
                     query = decode_query_line(line)
                 except ProtocolError as exc:
-                    async with write_lock:
-                        writer.write(encode_line(Response(
-                            id="", status="error", error=str(exc)).to_wire()))
-                        await writer.drain()
+                    await reply(Response(id="", status="error", error=str(exc)))
                     continue
+                # The wire is untrusted: a client-supplied scheduling
+                # offset must never drive the admission clock (one huge
+                # ``t`` would advance the token bucket far into the
+                # future and rate-limit everyone forever).  Only
+                # in-process submitters (bench, DES, tests) keep ``t``.
+                query.t = None
                 task = asyncio.ensure_future(answer(query))
                 pending.add(task)
                 task.add_done_callback(pending.discard)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
         finally:
             if pending:
                 await asyncio.gather(*pending, return_exceptions=True)
@@ -133,10 +177,12 @@ async def socket_query(where: str, queries: list[dict[str, Any]],
     arrival order, keyed by ``id``.
     """
     if where.startswith("unix:"):
-        reader, writer = await asyncio.open_unix_connection(where[5:])
+        reader, writer = await asyncio.open_unix_connection(
+            where[5:], limit=MAX_LINE)
     elif where.startswith("tcp:"):
         _, host, port = where.split(":")
-        reader, writer = await asyncio.open_connection(host, int(port))
+        reader, writer = await asyncio.open_connection(
+            host, int(port), limit=MAX_LINE)
     else:
         raise ValueError(f"bad address {where!r} (expected unix:... or tcp:...)")
     try:

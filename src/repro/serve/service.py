@@ -135,7 +135,11 @@ class QueryService:
                                      queued=self.admission.depth,
                                      inflight=self._inflight)
         self._wake.set()
-        await self._drained.wait()
+        # Only the dispatcher task sets _drained; waiting on it when the
+        # dispatcher never ran (drain before start) or is already gone
+        # (drain after stop cancelled it) would hang forever.
+        if self._started and not self._stopping:
+            await self._drained.wait()
         path = checkpoint_path
         if path is None and self.config.checkpoint_dir:
             path = str(Path(self.config.checkpoint_dir) / "serve_ckpt.npz")
@@ -203,8 +207,11 @@ class QueryService:
                     self._dispatch, self.executor.execute, wire)
             except Exception as exc:  # noqa: BLE001 - keep serving
                 results = [{"error": f"{type(exc).__name__}: {exc}"}] * len(batch)
+            finally:
+                # reset even on cancellation, or a later drain() would
+                # see phantom in-flight work
+                self._inflight = 0
             t_done = self.clock()
-            self._inflight = 0
             if len(results) != len(batch):
                 results = [{"error": "executor returned wrong batch size"}] * len(batch)
             service_s = t_done - t_exec

@@ -283,6 +283,21 @@ class TestKernels:
         assert len(full) == len(serve_tree.particles)
         assert len(capped) == 7
 
+    def test_range_count_exact_when_capped(self, serve_tree):
+        """A capped range payload still reports the exact hit count and
+        flags the truncation; an uncapped one carries no flag."""
+        pt = serve_tree.particles.position.mean(axis=0)
+        doc = {"op": "range", "point": [float(c) for c in pt],
+               "radius": 10.0}
+        capped, = execute_queries(serve_tree, [doc], max_results=7)
+        assert capped["count"] == len(serve_tree.particles)
+        assert len(capped["idx"]) == 7
+        assert capped["truncated"] is True
+        full, = execute_queries(serve_tree, [doc],
+                                max_results=len(serve_tree.particles))
+        assert full["count"] == len(full["idx"]) == len(serve_tree.particles)
+        assert "truncated" not in full
+
     def test_density_positive(self, serve_tree):
         pt = serve_tree.particles.position[0]
         rho, h = density_point(serve_tree, pt, 12)

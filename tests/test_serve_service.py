@@ -176,6 +176,71 @@ class TestSocketServer:
         err = next(d for d in tail if d["status"] == "error")
         assert "not valid JSON" in err["error"]
 
+    def test_oversized_line_gets_error_not_dropped_connection(self, tmp_path):
+        """A line past MAX_LINE must cost one error reply, not the stream
+        (and not a silent skip that starves a pipelining client)."""
+        from repro.serve.server import MAX_LINE
+
+        service = _service()
+        pos = service.state.particles.position
+        sock = str(tmp_path / "serve.sock")
+
+        async def go():
+            await service.start()
+            server = SocketServer(service, socket_path=sock)
+            await server.start()
+            try:
+                reader, writer = await asyncio.open_unix_connection(sock)
+                writer.write(b"x" * (MAX_LINE + 10) + b"\n")
+                writer.write((json.dumps(_q(1, pos[0]).to_wire()) + "\n")
+                             .encode())
+                await writer.drain()
+                writer.write_eof()
+                raw = await asyncio.wait_for(reader.read(), timeout=10)
+                writer.close()
+                return [json.loads(x) for x in raw.splitlines()]
+            finally:
+                await server.stop()
+
+        docs = asyncio.run(_stopped(service, go()))
+        assert len(docs) == 2   # one reply per line sent
+        statuses = sorted(d["status"] for d in docs)
+        assert statuses == ["error", "ok"]
+        err = next(d for d in docs if d["status"] == "error")
+        assert "exceeds" in err["error"]
+
+    def test_wire_t_is_untrusted(self, tmp_path):
+        """A client-supplied scheduling offset must not drive the token
+        bucket's clock: one huge ``t`` on the wire would otherwise stop
+        all refills and shed every later query forever."""
+        service = _service(
+            admission=AdmissionConfig(queue_capacity=64, rate=1000.0,
+                                      burst=8))
+        pos = service.state.particles.position
+        sock = str(tmp_path / "serve.sock")
+
+        async def go():
+            await service.start()
+            server = SocketServer(service, socket_path=sock)
+            await server.start()
+            try:
+                poisoned = _q(0, pos[0]).to_wire()
+                poisoned["t"] = 1e12
+                first = await socket_query(server.where, [poisoned])
+                later = await socket_query(
+                    server.where, [_q(i, pos[i]).to_wire()
+                                   for i in range(1, 5)])
+                return first, later
+            finally:
+                await server.stop()
+
+        first, later = asyncio.run(_stopped(service, go()))
+        assert first[0]["status"] == "ok"
+        # the bucket metered on the wall clock, not the wire ``t``
+        bucket = service.admission.bucket
+        assert bucket._last is not None and bucket._last < 1e11
+        assert all(d["status"] == "ok" for d in later)
+
 
 class TestDrainRestart:
     def test_drain_then_resume_bit_identical_answers(self, tmp_path):
@@ -217,6 +282,18 @@ class TestDrainRestart:
         # drain checkpoints byte-identical across the restart
         assert (ck1 / "serve_ckpt.npz").read_bytes() == \
                (ck2 / "serve_ckpt.npz").read_bytes()
+
+    def test_drain_before_start_does_not_hang(self, tmp_path):
+        """drain() before start() (or after stop()) has no dispatcher to
+        signal _drained — it must settle immediately, not wait forever."""
+        service = _service(checkpoint_dir=str(tmp_path))
+
+        async def go():
+            return await asyncio.wait_for(service.drain(), timeout=5)
+
+        path = asyncio.run(_stopped(service, go()))
+        assert path is not None and (tmp_path / "serve_ckpt.npz").exists()
+        assert service.admission.draining
 
 
 class TestDESAgreement:
