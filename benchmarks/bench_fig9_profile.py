@@ -53,26 +53,25 @@ def perf_fig9_profile(quick=False):
     return run
 
 
-def _traced_run(clustered_workload):
-    if "run" in _CACHE:
-        return _CACHE["run"]
-    workload = build_gravity_workload(
-        distribution="clustered", n=25_000, n_partitions=1024,
-        n_subtrees=1024, shared_branch_levels=4,
-    ).workload
-    _CACHE["run"] = simulate_traversal(
-        workload,
-        machine=STAMPEDE2,
-        n_processes=N_PROC,
-        workers_per_process=WORKERS,
-        cache_model=WAITFREE,
-        collect_trace=True,
-    )
-    return _CACHE["run"]
+def _traced_run(fig9_workload):
+    # Memoised on the workload the fixture actually handed us — the old
+    # version ignored its argument and rebuilt a full-size workload, so
+    # quick-scaled fixtures silently ran at n=25_000.
+    key = id(fig9_workload)
+    if key not in _CACHE:
+        _CACHE[key] = simulate_traversal(
+            fig9_workload.workload,
+            machine=STAMPEDE2,
+            n_processes=N_PROC,
+            workers_per_process=WORKERS,
+            cache_model=WAITFREE,
+            collect_trace=True,
+        )
+    return _CACHE[key]
 
 
-def test_fig9_profile(benchmark, clustered_workload):
-    r = benchmark.pedantic(_traced_run, args=(clustered_workload,), rounds=1, iterations=1)
+def test_fig9_profile(benchmark, fig9_workload):
+    r = benchmark.pedantic(_traced_run, args=(fig9_workload,), rounds=1, iterations=1)
     edges, series = utilization_profile(r.trace, N_PROC * WORKERS, n_bins=10)
     print_banner(f"Fig 9: utilisation profile at {N_PROC * WORKERS} cores "
                  "(fraction of workers busy)")

@@ -14,11 +14,24 @@ callable (no work happens at import time).  Those run through the CLI::
 
     repro bench list
     repro bench run --quick 'des.*'
+
+Quick mode: the registry setups shrink their workloads when the CLI passes
+``quick=True``, but the session fixtures here used to pin ``n=25_000``
+regardless — so the pytest leg of a "quick" sweep silently ran at full
+size.  ``REPRO_BENCH_QUICK=1`` now applies the same scaling to the
+fixtures that the registry setups use.
 """
+
+import os
 
 import pytest
 
 from repro.bench import build_gravity_workload
+
+#: Mirror of the registry's ``quick=True`` scaling for pytest-run benches.
+BENCH_QUICK = os.environ.get("REPRO_BENCH_QUICK", "") == "1"
+#: Same quick size the fig3/fig9 registry setups use.
+WORKLOAD_N = 6_000 if BENCH_QUICK else 25_000
 
 
 @pytest.fixture(scope="session")
@@ -29,11 +42,25 @@ def clustered_workload():
     Fig 3 cache-contention study needs (the paper runs up to 1024
     24-core processes)."""
     return build_gravity_workload(
-        distribution="clustered", n=25_000, n_partitions=1024, n_subtrees=1024
+        distribution="clustered", n=WORKLOAD_N, n_partitions=1024,
+        n_subtrees=1024,
     )
 
 
 @pytest.fixture(scope="session")
 def uniform_workload():
     """The Fig 10 workload: uniform volume, SFC + octree."""
-    return build_gravity_workload(distribution="uniform", n=25_000, seed=11)
+    return build_gravity_workload(distribution="uniform", n=WORKLOAD_N, seed=11)
+
+
+@pytest.fixture(scope="session")
+def fig9_workload():
+    """Fig 9's traced workload (``shared_branch_levels=4``).
+
+    Previously rebuilt ad hoc inside ``bench_fig9_profile`` while the test
+    took (and ignored) ``clustered_workload`` — which both hid the real
+    dependency and bypassed quick scaling."""
+    return build_gravity_workload(
+        distribution="clustered", n=WORKLOAD_N, n_partitions=1024,
+        n_subtrees=1024, shared_branch_levels=4,
+    )

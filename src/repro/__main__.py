@@ -35,6 +35,10 @@ def _add_common(p: argparse.ArgumentParser, n_default: int) -> None:
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--bucket", type=int, default=16, help="leaf bucket size")
     p.add_argument("--tree", default="oct", choices=["oct", "kd", "longest"])
+    p.add_argument("--tree-builder", default="recursive",
+                   choices=["recursive", "linear"],
+                   help="octree construction algorithm (byte-identical "
+                        "output; 'linear' is the vectorised fast path)")
 
 
 def _add_telemetry(p: argparse.ArgumentParser) -> None:
@@ -350,6 +354,7 @@ def cmd_gravity(args) -> int:
         cfg = Configuration(
             num_iterations=args.iterations, tree_type=args.tree,
             bucket_size=args.bucket, traverser=args.traverser,
+            tree_builder=args.tree_builder,
         )
 
         class Main(GravityDriver):
@@ -416,6 +421,7 @@ def cmd_gravity(args) -> int:
         p, theta=args.theta, softening=args.softening,
         tree_type=args.tree, bucket_size=args.bucket,
         traverser=args.traverser, with_quadrupole=args.quadrupole,
+        tree_builder=args.tree_builder,
     )
     print(f"traversal: {time.time() - t0:.2f}s  {res.stats.as_dict()}")
     if args.check and args.n <= 20_000:
@@ -438,7 +444,8 @@ def cmd_sph(args) -> int:
         from .core import Configuration
 
         cfg = Configuration(num_iterations=args.iterations, tree_type=args.tree,
-                            bucket_size=args.bucket)
+                            bucket_size=args.bucket,
+                            tree_builder=args.tree_builder)
 
         class Main(SPHDriver):
             def create_particles(self, config):
@@ -470,7 +477,8 @@ def cmd_sph(args) -> int:
             _save_state(driver, args.save_state)
         _finish_telemetry(telemetry, args)
         return 0
-    tree = build_tree(p, tree_type=args.tree, bucket_size=args.bucket)
+    tree = build_tree(p, tree_type=args.tree, bucket_size=args.bucket,
+                      builder=args.tree_builder)
     if fault_plan is not None:
         _chaos_probe(tree, fault_plan)
     st = compute_density_knn(tree, k=args.k)
@@ -497,7 +505,8 @@ def cmd_knn(args) -> int:
         from .core import Configuration
 
         cfg = Configuration(num_iterations=args.iterations, tree_type=args.tree,
-                            bucket_size=args.bucket)
+                            bucket_size=args.bucket,
+                            tree_builder=args.tree_builder)
 
         class Main(KNNDriver):
             def create_particles(self, config):
@@ -529,7 +538,8 @@ def cmd_knn(args) -> int:
             _save_state(driver, args.save_state)
         _finish_telemetry(telemetry, args)
         return 0
-    tree = build_tree(p, tree_type=args.tree, bucket_size=args.bucket)
+    tree = build_tree(p, tree_type=args.tree, bucket_size=args.bucket,
+                      builder=args.tree_builder)
     if fault_plan is not None:
         _chaos_probe(tree, fault_plan)
     t0 = time.time()
@@ -945,6 +955,7 @@ def cmd_explain(args) -> int:
         num_iterations=args.iterations, tree_type=args.tree,
         bucket_size=args.bucket, traverser=args.traverser,
         num_partitions=args.partitions, num_subtrees=args.partitions,
+        tree_builder=args.tree_builder,
     )
 
     class Main(GravityDriver):
@@ -1189,6 +1200,7 @@ def cmd_serve(args) -> int:
         dataset = {"kind": args.dataset, "n": args.n, "seed": args.seed}
     dataset["tree_type"] = args.tree
     dataset["bucket_size"] = args.bucket
+    dataset["tree_builder"] = args.tree_builder
     admission = AdmissionConfig(
         queue_capacity=args.queue_cap, rate=args.rate, burst=args.burst,
         slo=args.shed_slo, default_deadline=args.deadline)

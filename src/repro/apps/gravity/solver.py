@@ -73,12 +73,14 @@ def compute_gravity(
     with_quadrupole: bool = False,
     with_potential: bool = False,
     recorder: Recorder | None = None,
+    tree_builder: str = "recursive",
 ) -> GravityResult:
     """Build a tree over ``particles`` and compute Barnes-Hut accelerations.
 
     ``result.accel`` is aligned with the input particle order.
     """
-    tree = build_tree(particles, tree_type=tree_type, bucket_size=bucket_size)
+    tree = build_tree(particles, tree_type=tree_type, bucket_size=bucket_size,
+                      builder=tree_builder)
     return compute_gravity_on_tree(
         tree,
         theta=theta,

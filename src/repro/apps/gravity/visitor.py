@@ -131,6 +131,69 @@ class GravityVisitor(Visitor):
         idx = ranges_to_indices(tree.pstart[targets], tree.pend[targets])
         self._apply_leaf(source, idx)
 
+    # -- batched over (source, target) pairs (batched engine) ----------------
+    # Whole-frontier kernels from repro.trees.kernels: one call per level
+    # instead of one per node.  The quadrupole path keeps the grouped default
+    # (it reuses the per-source quadrupole_accel kernel).
+
+    def open_pairs(self, tree: Tree, sources: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        from ...trees.kernels import mac_open_pairs
+
+        return mac_open_pairs(
+            tree.box_lo[targets],
+            tree.box_hi[targets],
+            self.arrays.centroid[sources],
+            self.arrays.open_radius_sq[sources],
+        )
+
+    def node_pairs(self, tree: Tree, sources: np.ndarray, targets: np.ndarray) -> None:
+        if self.arrays.quad is not None:
+            super().node_pairs(tree, sources, targets)
+            return
+        from ...trees.kernels import (
+            accumulate_monopole,
+            accumulate_monopole_potential,
+            expand_pair_rows,
+        )
+
+        rows, pair = expand_pair_rows(tree.pstart[targets], tree.pend[targets])
+        if not rows.size:
+            return
+        src = sources[pair]
+        pos = tree.particles.position[rows]
+        accumulate_monopole(
+            self.accel, rows, pos, self.arrays.centroid[src],
+            self.arrays.mass[src], self.G, self.softening,
+        )
+        if self.potential is not None:
+            accumulate_monopole_potential(
+                self.potential, rows, pos, self.arrays.centroid[src],
+                self.arrays.mass[src], self.G, self.softening,
+            )
+
+    def leaf_pairs(self, tree: Tree, sources: np.ndarray, targets: np.ndarray) -> None:
+        from ...trees.kernels import (
+            accumulate_pp,
+            accumulate_pp_potential,
+            expand_pair_products,
+        )
+
+        t_rows, s_rows = expand_pair_products(
+            tree.pstart[targets], tree.pend[targets],
+            tree.pstart[sources], tree.pend[sources],
+        )
+        if not t_rows.size:
+            return
+        accumulate_pp(
+            self.accel, t_rows, s_rows, tree.particles.position,
+            tree.particles.mass, self.G, self.softening,
+        )
+        if self.potential is not None:
+            accumulate_pp_potential(
+                self.potential, t_rows, s_rows, tree.particles.position,
+                tree.particles.mass, self.G, self.softening,
+            )
+
     # -- batched over sources (per-bucket engine) ----------------------------
     def open_sources(self, tree: Tree, sources: np.ndarray, target: int) -> np.ndarray:
         return spheres_intersect_box(

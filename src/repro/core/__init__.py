@@ -23,6 +23,7 @@ from .visitor import Visitor
 
 # Importing the engine modules registers the built-in traversers.
 from .topdown import PerBucketTraverser, TransposedTraverser
+from .batched import BatchedTraverser
 from .upanddown import UpAndDownTraverser
 from .dualtree import DualTreeTraverser
 from .priority import PriorityTraverser
@@ -47,6 +48,7 @@ __all__ = [
     "register_traverser",
     "PerBucketTraverser",
     "TransposedTraverser",
+    "BatchedTraverser",
     "UpAndDownTraverser",
     "DualTreeTraverser",
     "PriorityTraverser",

@@ -1,0 +1,97 @@
+"""Level-synchronous batched traversal: the whole frontier as pair arrays.
+
+Where :class:`~repro.core.topdown.TransposedTraverser` walks source nodes
+one at a time (each against a target batch), this engine keeps the *entire*
+active frontier as flat ``(source, target)`` index arrays and advances all
+pairs one level per iteration.  Every visitor decision then happens in a
+handful of whole-frontier numpy (or numba — see :mod:`repro.trees.kernels`)
+calls instead of one Python-level call per tree node.
+
+The visit *set* is identical to the other engines (same pruning semantics);
+only the batching differs.  Within a level the engine processes closed
+pairs, then leaf pairs, then expands internal pairs — and pair order within
+a level is a stable function of the previous level's order, so per-target
+results are independent of which other targets share the frontier.  That
+makes the engine bit-identical across exec backends and worker counts
+(chunking targets only removes rows from the pair arrays of *other*
+targets).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..trees import Tree
+from .traverser import Recorder, TraversalStats, Traverser, register_traverser
+from .util import ranges_to_indices
+from .visitor import Visitor, _group_pairs_by_source
+
+__all__ = ["BatchedTraverser"]
+
+
+class BatchedTraverser(Traverser):
+    """Breadth-first over the whole (source, target) pair frontier."""
+
+    name = "batched"
+
+    def _traverse(
+        self,
+        tree: Tree,
+        visitor: Visitor,
+        targets: np.ndarray | None = None,
+        recorder: Recorder | None = None,
+    ) -> TraversalStats:
+        targets = self._resolve_targets(tree, targets)
+        stats = TraversalStats(targets=len(targets))
+        if not targets.size:
+            return stats
+        first_child = tree.first_child
+        n_children = tree.n_children
+        counts = tree.pend - tree.pstart
+
+        S = np.full(targets.size, tree.root, dtype=np.int64)
+        T = targets.astype(np.int64, copy=True)
+        while S.size:
+            # Each distinct source node is touched once per level.
+            stats.nodes_visited += int(np.unique(S).size)
+            stats.opens += int(S.size)
+            if recorder is not None:
+                self._record(tree, recorder.on_open, S, T)
+            mask = np.asarray(visitor.open_pairs(tree, S, T), dtype=bool)
+
+            closed_s, closed_t = S[~mask], T[~mask]
+            if closed_s.size:
+                stats.node_interactions += int(closed_s.size)
+                stats.pn_interactions += int(counts[closed_t].sum())
+                if recorder is not None:
+                    self._record(tree, recorder.on_node, closed_s, closed_t)
+                visitor.node_pairs(tree, closed_s, closed_t)
+
+            open_s, open_t = S[mask], T[mask]
+            if not open_s.size:
+                break
+            leaf_mask = first_child[open_s] == -1
+            leaf_s, leaf_t = open_s[leaf_mask], open_t[leaf_mask]
+            if leaf_s.size:
+                stats.leaf_interactions += int(leaf_s.size)
+                stats.pp_interactions += int((counts[leaf_s] * counts[leaf_t]).sum())
+                if recorder is not None:
+                    self._record(tree, recorder.on_leaf, leaf_s, leaf_t)
+                visitor.leaf_pairs(tree, leaf_s, leaf_t)
+
+            int_s, int_t = open_s[~leaf_mask], open_t[~leaf_mask]
+            nc = n_children[int_s]
+            S = ranges_to_indices(first_child[int_s], first_child[int_s] + nc)
+            T = np.repeat(int_t, nc)
+        return stats
+
+    @staticmethod
+    def _record(tree: Tree, callback, sources: np.ndarray, targets: np.ndarray) -> None:
+        # Recorders expect outer-product semantics with one singleton side;
+        # group the pair frontier by source (stable in source order) so each
+        # target's recorded source sequence is deterministic per level.
+        for src, idx in _group_pairs_by_source(sources):
+            callback(tree, np.array([src]), targets[idx])
+
+
+register_traverser(BatchedTraverser.name, BatchedTraverser)

@@ -32,6 +32,9 @@ class Configuration:
     tree_type: TreeType | str = TreeType.OCT
     decomp_type: str = "sfc"
     bucket_size: int = 16
+    #: Tree construction algorithm: "recursive" (node-at-a-time stack walk)
+    #: or "linear" (vectorised level-by-level build; byte-identical output).
+    tree_builder: str = "recursive"
     #: Minimum number of Partitions (load units); 0 = one per target bucket
     #: group chosen automatically.
     num_partitions: int = 8
@@ -71,9 +74,17 @@ class Configuration:
             raise ValueError("nodes_per_request must be >= 1")
         if self.shared_branch_levels < 0:
             raise ValueError("shared_branch_levels must be >= 0")
+        if self.tree_builder not in ("recursive", "linear"):
+            raise ValueError(
+                f"tree_builder must be 'recursive' or 'linear', got {self.tree_builder!r}"
+            )
 
     def tree_build_config(self) -> TreeBuildConfig:
-        return TreeBuildConfig(tree_type=self.tree_type, bucket_size=self.bucket_size)
+        return TreeBuildConfig(
+            tree_type=self.tree_type,
+            bucket_size=self.bucket_size,
+            builder=self.tree_builder,
+        )
 
     def to_dict(self) -> dict:
         """JSON-serializable view of every knob (checkpoint metadata)."""
@@ -83,6 +94,7 @@ class Configuration:
             "tree_type": str(TreeType(self.tree_type).value),
             "decomp_type": self.decomp_type,
             "bucket_size": int(self.bucket_size),
+            "tree_builder": self.tree_builder,
             "num_partitions": int(self.num_partitions),
             "num_subtrees": int(self.num_subtrees),
             "traverser": self.traverser,

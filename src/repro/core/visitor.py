@@ -28,6 +28,19 @@ from ..trees import SpatialNode, Tree
 __all__ = ["Visitor"]
 
 
+def _group_pairs_by_source(sources: np.ndarray):
+    """Yield ``(source, index_array)`` segments of a pair frontier, sorted by
+    source.  The stable sort keeps each target's per-source pair order
+    deterministic regardless of how the frontier was assembled."""
+    order = np.argsort(sources, kind="stable")
+    sorted_src = sources[order]
+    bounds = np.flatnonzero(sorted_src[1:] != sorted_src[:-1]) + 1
+    starts = np.concatenate([[0], bounds])
+    ends = np.concatenate([bounds, [len(sorted_src)]])
+    for a, b in zip(starts, ends):
+        yield int(sorted_src[a]), order[a:b]
+
+
 class Visitor:
     """Base visitor; subclass and override at least ``open``/``node``/``leaf``.
 
@@ -85,6 +98,27 @@ class Visitor:
         src = tree.node(source)
         for t in targets:
             self.leaf(src, tree.node(int(t)))
+
+    # -- batched over (source, target) pairs (whole-frontier engines) ------
+    # The level-synchronous "batched" engine carries its frontier as flat
+    # pair arrays.  Defaults group the pairs by source (stable, so per-target
+    # ordering is deterministic) and delegate to the *_batch hooks — every
+    # existing visitor works unchanged; vectorised visitors override these
+    # with whole-frontier kernels (see repro.trees.kernels).
+
+    def open_pairs(self, tree: Tree, sources: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        out = np.empty(len(sources), dtype=bool)
+        for src, idx in _group_pairs_by_source(sources):
+            out[idx] = np.asarray(self.open_batch(tree, src, targets[idx]), dtype=bool)
+        return out
+
+    def node_pairs(self, tree: Tree, sources: np.ndarray, targets: np.ndarray) -> None:
+        for src, idx in _group_pairs_by_source(sources):
+            self.node_batch(tree, src, targets[idx])
+
+    def leaf_pairs(self, tree: Tree, sources: np.ndarray, targets: np.ndarray) -> None:
+        for src, idx in _group_pairs_by_source(sources):
+            self.leaf_batch(tree, src, targets[idx])
 
     # -- batched over sources (many source nodes, one target leaf) ---------
     def open_sources(self, tree: Tree, sources: np.ndarray, target: int) -> np.ndarray:

@@ -275,8 +275,11 @@ def capture_run(
     )
 
 
-#: configuration keys a resume may legitimately change
-_RESUMABLE_KEYS = {"num_iterations", "input_file"}
+#: configuration keys a resume may legitimately change.  ``tree_builder``
+#: qualifies because the linear and recursive builders produce
+#: byte-identical trees (pinned by tests/test_linear_tree.py), so switching
+#: builders mid-run cannot diverge the physics.
+_RESUMABLE_KEYS = {"num_iterations", "input_file", "tree_builder"}
 
 
 def restore_run(

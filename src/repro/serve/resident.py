@@ -63,6 +63,7 @@ def build_resident_state(spec: dict[str, Any]) -> ResidentState:
     spec = dict(spec)
     tree_type = spec.setdefault("tree_type", "oct")
     bucket = int(spec.setdefault("bucket_size", 16))
+    builder = spec.setdefault("tree_builder", "recursive")
 
     if spec.get("checkpoint"):
         ckpt = load_checkpoint(spec["checkpoint"])
@@ -70,6 +71,7 @@ def build_resident_state(spec: dict[str, Any]) -> ResidentState:
         tree_cfg = ckpt.app_config.get("tree", {})
         tree_type = tree_cfg.get("tree_type", tree_type)
         bucket = int(tree_cfg.get("bucket_size", bucket))
+        builder = tree_cfg.get("tree_builder", builder)
         # adopt the checkpoint's recorded generator spec: the resumed
         # server's own drain checkpoint then byte-matches the original
         # (same metadata, same tree-ordered arrays).  Checkpoints from
@@ -79,6 +81,7 @@ def build_resident_state(spec: dict[str, Any]) -> ResidentState:
         if recorded:
             spec = dict(recorded)
         spec["tree_type"], spec["bucket_size"] = tree_type, bucket
+        spec["tree_builder"] = builder
     else:
         kind = spec.setdefault("kind", "clumps")
         if kind not in GENERATORS:
@@ -87,7 +90,8 @@ def build_resident_state(spec: dict[str, Any]) -> ResidentState:
         particles = GENERATORS[kind](int(spec.setdefault("n", 20000)),
                                      seed=int(spec.setdefault("seed", 1)))
 
-    tree = build_tree(particles, tree_type=tree_type, bucket_size=bucket)
+    tree = build_tree(particles, tree_type=tree_type, bucket_size=bucket,
+                      builder=builder)
     return ResidentState(spec=spec, particles=particles, tree=tree)
 
 
@@ -106,9 +110,10 @@ def checkpoint_resident(state: ResidentState, path: str,
         app="serve",
         app_config={
             "dataset": {k: v for k, v in state.spec.items()
-                        if k not in ("tree_type", "bucket_size")},
+                        if k not in ("tree_type", "bucket_size", "tree_builder")},
             "tree": {"tree_type": state.spec["tree_type"],
-                     "bucket_size": state.spec["bucket_size"]},
+                     "bucket_size": state.spec["bucket_size"],
+                     "tree_builder": state.spec.get("tree_builder", "recursive")},
             **(extra or {}),
         },
     )

@@ -18,6 +18,7 @@ from .node import SpatialNode, Tree
 from .build import TreeBuildConfig, TreeType, build_tree
 from .build_oct import build_octree
 from .build_binary import build_kd_tree, build_longest_dim_tree
+from .linear import build_octree_linear
 from .validate import check_tree_invariants
 
 __all__ = [
@@ -27,6 +28,7 @@ __all__ = [
     "TreeType",
     "build_tree",
     "build_octree",
+    "build_octree_linear",
     "build_kd_tree",
     "build_longest_dim_tree",
     "check_tree_invariants",

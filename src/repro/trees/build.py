@@ -46,12 +46,19 @@ class TreeBuildConfig:
         When true, each node's box is shrunk to the tight bounds of its own
         particles (improves pruning; octree keys still follow the geometric
         boxes).
+    builder:
+        Construction algorithm: ``"recursive"`` (the node-at-a-time stack
+        walk) or ``"linear"`` (the vectorised level-by-level builder of
+        :mod:`repro.trees.linear`).  Both produce byte-identical trees; the
+        switch only trades build time.  Binary tree types always use their
+        recursive builder, so ``builder`` is an octree knob.
     """
 
     tree_type: TreeType | str = TreeType.OCT
     bucket_size: int = 16
     max_depth: int = 60
     tight_boxes: bool = False
+    builder: str = "recursive"
 
     def __post_init__(self) -> None:
         self.tree_type = TreeType(self.tree_type)
@@ -59,6 +66,10 @@ class TreeBuildConfig:
             raise ValueError(f"bucket_size must be >= 1, got {self.bucket_size}")
         if self.max_depth < 1:
             raise ValueError(f"max_depth must be >= 1, got {self.max_depth}")
+        if self.builder not in ("recursive", "linear"):
+            raise ValueError(
+                f"builder must be 'recursive' or 'linear', got {self.builder!r}"
+            )
 
 
 _BUILDERS: dict[str, Callable[[ParticleSet, TreeBuildConfig], Tree]] = {}
@@ -90,14 +101,18 @@ def build_tree(particles: ParticleSet, config: TreeBuildConfig | None = None, **
     from ..obs import get_telemetry
     from .build_oct import build_octree
     from .build_binary import build_kd_tree, build_longest_dim_tree
+    from .linear import build_octree_linear
 
     name = str(config.tree_type)
     with get_telemetry().tracer.span(
-        "build_tree", cat="trees", tree_type=name, n_particles=len(particles)
+        "build_tree", cat="trees", tree_type=name, n_particles=len(particles),
+        builder=config.builder,
     ):
         if name in _BUILDERS:
             return _BUILDERS[name](particles, config)
         if config.tree_type == TreeType.OCT:
+            if config.builder == "linear":
+                return build_octree_linear(particles, config)
             return build_octree(particles, config)
         if config.tree_type == TreeType.KD:
             return build_kd_tree(particles, config)

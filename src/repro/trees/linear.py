@@ -1,0 +1,237 @@
+"""Vectorised linear-octree builder (Cornerstone-style).
+
+The recursive builder in :mod:`repro.trees.build_oct` does Python-level work
+per *node* (a ``searchsorted`` and a box split inside a ``while`` loop over a
+stack).  This module builds the identical tree with work proportional to the
+*depth* instead: one Morton sort, then one counting pass per level in which
+every node of that level is subdivided at once.
+
+The construction runs in two fully vectorised phases:
+
+1. **Level-order (BFS) subdivision.**  After the Morton sort, every octree
+   node is a contiguous slice of the key array and every child boundary is a
+   *change point* of the level-``L+1`` key prefix.  One ``np.flatnonzero``
+   over adjacent prefixes finds all boundaries of a level, and two
+   ``searchsorted`` calls distribute them to the splitting parents — no
+   per-node Python whatsoever.
+2. **Canonical renumbering.**  The recursive builder numbers nodes in the
+   order its LIFO work stack pops them (children appear contiguously, in
+   octant order, when their parent is popped — i.e. a depth-first order that
+   descends through the *last* child first).  We reproduce that numbering
+   exactly with three array passes: subtree sizes (bottom-up ``np.add.at``),
+   depth-first positions (top-down segment suffix-sums), and child-block
+   offsets (one ``cumsum`` over the internal nodes in pop order).
+
+Because phase 2 makes the output *byte-identical* to
+:func:`~repro.trees.build_oct.build_octree` — same node order, same float
+boxes (child boxes are derived by the same ``0.5 * (lo + hi)`` halving), same
+keys, same particle permutation — every downstream consumer (traversal
+engines, decomposition tie-breaks, checkpoints, the shm arena) sees exactly
+the tree it would have seen from the recursive builder.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry import MORTON_BITS, morton_keys
+from ..particles import ParticleSet
+from .build import TreeBuildConfig
+from .node import NO_NODE, Tree
+
+__all__ = ["build_octree_linear"]
+
+
+def build_octree_linear(particles: ParticleSet, config: TreeBuildConfig) -> Tree:
+    """Build an octree without per-node recursion; bit-identical to
+    :func:`~repro.trees.build_oct.build_octree`."""
+    # Function-level import: repro.core imports repro.trees at package load.
+    from ..core.util import ranges_to_indices
+
+    universe = particles.bounding_box().cubified()
+    keys = morton_keys(particles.position, universe)
+    order = np.argsort(keys, kind="stable")
+    particles = particles.permuted(order)
+    keys = keys[order]
+    n = len(particles)
+    max_level = min(config.max_depth, MORTON_BITS)
+    bucket = config.bucket_size
+
+    # -- phase 1: level-order subdivision -----------------------------------
+    # Per-level arrays; children of one parent are contiguous within a level
+    # and parents appear in the same order as on the previous level.
+    lvl_start = [np.array([0], dtype=np.int64)]
+    lvl_end = [np.array([n], dtype=np.int64)]
+    lvl_lo = [np.asarray(universe.lo, dtype=np.float64).reshape(1, 3).copy()]
+    lvl_hi = [np.asarray(universe.hi, dtype=np.float64).reshape(1, 3).copy()]
+    lvl_key = [np.array([1], dtype=np.uint64)]
+    lvl_parent = [np.array([NO_NODE], dtype=np.int64)]  # global BFS index
+    lvl_first = []   # global BFS index of first child, NO_NODE for leaves
+    lvl_nchild = []  # children per node
+    lvl_counts = []  # children per *splitting* node (segment lengths)
+    level_base = [0]
+
+    for lvl in range(max_level):
+        start, end = lvl_start[lvl], lvl_end[lvl]
+        first = np.full(len(start), NO_NODE, dtype=np.int64)
+        nchild = np.zeros(len(start), dtype=np.int64)
+        split = np.flatnonzero(end - start > bucket)
+        if split.size == 0:
+            lvl_first.append(first)
+            lvl_nchild.append(nchild)
+            break
+        s, e = start[split], end[split]
+        # Level-(lvl+1) prefix of every particle key; a child boundary inside
+        # any splitting node is exactly a change point of this prefix.
+        prefix = keys >> np.uint64(3 * (MORTON_BITS - (lvl + 1)))
+        cp = np.flatnonzero(prefix[1:] != prefix[:-1]).astype(np.int64) + 1
+        li = np.searchsorted(cp, s, side="right")
+        ri = np.searchsorted(cp, e, side="left")
+        counts = ri - li + 1  # change points in (s, e) cut [s, e) into runs
+        total = int(counts.sum())
+        firstpos = np.concatenate([[0], np.cumsum(counts)[:-1]])
+        lastpos = firstpos + counts - 1
+
+        child_start = np.empty(total, dtype=np.int64)
+        child_start[firstpos] = s
+        mid = np.ones(total, dtype=bool)
+        mid[firstpos] = False
+        child_start[mid] = cp[ranges_to_indices(li, ri)]
+        child_end = np.empty(total, dtype=np.int64)
+        child_end[lastpos] = e
+        last_mask = np.zeros(total, dtype=bool)
+        last_mask[lastpos] = True
+        inner = np.flatnonzero(~last_mask)
+        child_end[inner] = child_start[inner + 1]
+
+        cprefix = prefix[child_start]
+        child_key = cprefix + np.uint64(1 << (3 * (lvl + 1)))
+        octant = (cprefix & np.uint64(7)).astype(np.int64)
+
+        # Child boxes by float halving of the parent box — the identical
+        # arithmetic (0.5 * (lo + hi), then replace one face per axis) the
+        # recursive builder performs, so the floats match bit for bit.
+        center = 0.5 * (lvl_lo[lvl][split] + lvl_hi[lvl][split])
+        rep = np.repeat(np.arange(split.size), counts)
+        plo, phi, pcenter = lvl_lo[lvl][split][rep], lvl_hi[lvl][split][rep], center[rep]
+        bits = (octant[:, None] >> np.arange(3)[None, :]) & 1
+        child_lo = np.where(bits == 1, pcenter, plo)
+        child_hi = np.where(bits == 1, phi, pcenter)
+
+        first[split] = (level_base[lvl] + len(start)) + firstpos
+        nchild[split] = counts
+        lvl_first.append(first)
+        lvl_nchild.append(nchild)
+        lvl_counts.append(counts)
+
+        lvl_start.append(child_start)
+        lvl_end.append(child_end)
+        lvl_lo.append(child_lo)
+        lvl_hi.append(child_hi)
+        lvl_key.append(child_key)
+        lvl_parent.append(level_base[lvl] + split[rep])
+        level_base.append(level_base[lvl] + len(start))
+    else:
+        # Depth cap reached with the last level never examined for splits.
+        lvl_first.append(np.full(len(lvl_start[-1]), NO_NODE, dtype=np.int64))
+        lvl_nchild.append(np.zeros(len(lvl_start[-1]), dtype=np.int64))
+
+    parent_b = np.concatenate(lvl_parent)
+    first_b = np.concatenate(lvl_first)
+    nchild_b = np.concatenate(lvl_nchild)
+    start_b = np.concatenate(lvl_start)
+    end_b = np.concatenate(lvl_end)
+    lo_b = np.concatenate(lvl_lo, axis=0)
+    hi_b = np.concatenate(lvl_hi, axis=0)
+    key_b = np.concatenate(lvl_key)
+    level_b = np.concatenate(
+        [np.full(len(a), d, dtype=np.int64) for d, a in enumerate(lvl_start)]
+    )
+    m = len(parent_b)
+    n_levels = len(lvl_start)
+
+    # -- phase 2: canonical (recursive-builder) numbering --------------------
+    # Subtree sizes, bottom-up: children of level L live at level L-1.
+    size = np.ones(m, dtype=np.int64)
+    for lvl in range(n_levels - 1, 0, -1):
+        idx = np.arange(level_base[lvl], level_base[lvl] + len(lvl_start[lvl]))
+        np.add.at(size, parent_b[idx], size[idx])
+
+    # Depth-first position of every node under "last child first" descent:
+    # pos(child_j) = pos(parent) + 1 + sum of later siblings' subtree sizes.
+    pos = np.zeros(m, dtype=np.int64)
+    for lvl in range(n_levels - 1):
+        counts = lvl_counts[lvl] if lvl < len(lvl_counts) else None
+        if counts is None or counts.size == 0:
+            continue
+        idx = np.arange(level_base[lvl + 1], level_base[lvl + 1] + len(lvl_start[lvl + 1]))
+        sizes = size[idx]
+        cs = np.cumsum(sizes)
+        lastpos = np.cumsum(counts) - 1
+        seg_id = np.repeat(np.arange(counts.size), counts)
+        tail = cs[lastpos][seg_id] - cs
+        pos[idx] = pos[parent_b[idx]] + 1 + tail
+
+    # Internal nodes in pop (depth-first) order each claim the next
+    # contiguous child block — exactly the recursive builder's numbering.
+    new_idx = np.empty(m, dtype=np.int64)
+    new_idx[0] = 0
+    internal = np.flatnonzero(nchild_b > 0)
+    if internal.size:
+        order_int = internal[np.argsort(pos[internal])]
+        offsets = 1 + np.concatenate([[0], np.cumsum(nchild_b[order_int])[:-1]])
+        block = np.empty(m, dtype=np.int64)
+        block[order_int] = offsets
+        nonroot = np.arange(1, m)
+        pp = parent_b[nonroot]
+        new_idx[nonroot] = block[pp] + (nonroot - first_b[pp])
+
+    inv = np.empty(m, dtype=np.int64)
+    inv[new_idx] = np.arange(m)
+    parent_n = parent_b[inv]
+    remap = parent_n != NO_NODE
+    parent_n[remap] = new_idx[parent_n[remap]]
+    first_n = first_b[inv]
+    remap = first_n != NO_NODE
+    first_n[remap] = new_idx[first_n[remap]]
+
+    tree = Tree(
+        particles=particles,
+        parent=parent_n,
+        first_child=first_n,
+        n_children=nchild_b[inv],
+        pstart=start_b[inv],
+        pend=end_b[inv],
+        box_lo=lo_b[inv],
+        box_hi=hi_b[inv],
+        level=level_b[inv],
+        key=key_b[inv],
+        tree_type="oct",
+        bucket_size=config.bucket_size,
+    )
+    if config.tight_boxes:
+        _tighten_boxes_vectorized(tree)
+    return tree
+
+
+def _tighten_boxes_vectorized(tree: Tree) -> None:
+    """Vectorised equivalent of ``build_oct._tighten_boxes``.
+
+    Leaf slices tile ``[0, N)``, so ``np.minimum.reduceat`` over the
+    pstart-sorted leaves gives every leaf's tight box in one pass; internal
+    boxes follow bottom-up (min/max are exact, so combining children is
+    bit-identical to reducing the node's whole particle slice).
+    """
+    pos = tree.particles.position
+    leaves = tree.leaf_indices
+    lsort = leaves[np.argsort(tree.pstart[leaves])]
+    starts = tree.pstart[lsort]
+    tree.box_lo[lsort] = np.minimum.reduceat(pos, starts, axis=0)
+    tree.box_hi[lsort] = np.maximum.reduceat(pos, starts, axis=0)
+    internal = tree.first_child != NO_NODE
+    tree.box_lo[internal] = np.inf
+    tree.box_hi[internal] = -np.inf
+    for lvl in range(int(tree.level.max()), 0, -1):
+        idx = np.flatnonzero(tree.level == lvl)
+        np.minimum.at(tree.box_lo, tree.parent[idx], tree.box_lo[idx])
+        np.maximum.at(tree.box_hi, tree.parent[idx], tree.box_hi[idx])

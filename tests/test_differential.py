@@ -23,10 +23,12 @@ from repro.particles.generators import clustered_clumps, uniform_cube
 from repro.trees import build_tree
 
 from tests.harness.differential import (
+    TREE_BUILDERS,
     WORKER_COUNTS,
     CountInRadiusVisitor,
     assert_equivalent,
     brute_force_radius_counts,
+    builder_differential_matrix,
     differential_matrix,
     run_combination,
 )
@@ -146,11 +148,86 @@ class TestCountVisitorOracle:
         assert np.array_equal(base.outputs["counts"], oracle)
 
 
+class TestBatchedEngineDifferential:
+    """The level-synchronous batched engine joins the matrix (PR 10)."""
+
+    def test_gravity_matrix(self, small_tree):
+        make, collect = gravity_setup(small_tree, with_potential=True)
+        differential_matrix(small_tree, "batched", make, collect,
+                            workers=WORKER_COUNTS, expect_parallel=True)
+
+    def test_count_visitor_matches_other_engines(self, small_tree):
+        make = lambda t: CountInRadiusVisitor(t, 0.15)  # noqa: E731
+        collect = lambda v: {"counts": v.counts}  # noqa: E731
+        runs = {
+            eng: run_combination(small_tree, eng, make, collect)
+            for eng in ("transposed", "per-bucket", "batched")
+        }
+        for eng in ("per-bucket", "batched"):
+            assert_equivalent(runs["transposed"], runs[eng])
+
+    def test_gravity_allclose_across_engines(self, small_tree):
+        # Float accumulation order differs between engines, so cross-engine
+        # gravity is allclose, not bit-identical; counts stay exact.
+        make, collect = gravity_setup(small_tree)
+        rt = run_combination(small_tree, "transposed", make, collect)
+        rb = run_combination(small_tree, "batched", make, collect)
+        np.testing.assert_allclose(rb.outputs["accel"], rt.outputs["accel"],
+                                   rtol=1e-12, atol=1e-14)
+        assert rb.counts == rt.counts
+
+
+class TestTreeBuilderDifferential:
+    """The tree_builder axis: recursive ≡ linear through the whole cube."""
+
+    def test_count_visitor_cube(self):
+        particles = uniform_cube(600, seed=21)
+        make = lambda t: CountInRadiusVisitor(t, 0.15)  # noqa: E731
+        collect = lambda v: {"counts": v.counts}  # noqa: E731
+        base = builder_differential_matrix(
+            particles, "transposed", make, collect, bucket_size=12,
+            workers=(1, 2, 4),
+        )
+        oracle = brute_force_radius_counts(
+            uniform_cube(600, seed=21).position, 0.15
+        )
+        # counts are in tree order; both builders share the permutation
+        tree = build_tree(uniform_cube(600, seed=21), bucket_size=12)
+        assert np.array_equal(
+            tree.particles.scatter_to_input_order(base.outputs["counts"]),
+            oracle,
+        )
+
+    def test_gravity_builders_bit_identical(self):
+        particles = clustered_clumps(700, seed=13)
+        trees = {
+            b: build_tree(particles.copy(), bucket_size=16, builder=b)
+            for b in TREE_BUILDERS
+        }
+        results = {}
+        for b, tree in trees.items():
+            make, collect = gravity_setup(tree, with_potential=True)
+            results[b] = run_combination(tree, "transposed", make, collect)
+        assert (results["recursive"].outputs["accel"].tobytes()
+                == results["linear"].outputs["accel"].tobytes())
+        assert (results["recursive"].outputs["potential"].tobytes()
+                == results["linear"].outputs["potential"].tobytes())
+        assert results["recursive"].counts == results["linear"].counts
+
+    @pytest.mark.slow
+    def test_batched_engine_builder_cube(self):
+        particles = clustered_clumps(800, seed=3)
+        make = lambda t: CountInRadiusVisitor(t, 0.3)  # noqa: E731
+        collect = lambda v: {"counts": v.counts}  # noqa: E731
+        builder_differential_matrix(particles, "batched", make, collect,
+                                    workers=(1, 2, 4), record=True)
+
+
 @pytest.mark.slow
 class TestFullMatrix:
     """The wide matrix: every engine × backend × worker count × dataset."""
 
-    ENGINES = ("transposed", "per-bucket")
+    ENGINES = ("transposed", "per-bucket", "batched")
 
     @pytest.mark.parametrize("engine", ENGINES)
     def test_gravity_engines(self, engine, small_tree, clustered_tree):
@@ -239,3 +316,170 @@ class TestHypothesisDifferential:
         other = run_combination(tree, "transposed", make, collect,
                                 backend="processes", workers=3)
         assert_equivalent(base, other)
+
+
+class TestBatchedKernelsGolden:
+    """Kernel-vs-scalar golden tests for repro.trees.kernels (PR 10).
+
+    A pure-Python reference loop defines the accumulation semantics; the
+    numpy fallback must match it bit-for-bit (np.add.at is sequential), and
+    — where numba is installed — the JIT leg must match the numpy leg
+    bit-for-bit too.
+    """
+
+    @staticmethod
+    def _pairs(n=400, seed=0):
+        rng = np.random.default_rng(seed)
+        pos = rng.random((n, 3))
+        rows = rng.integers(0, 64, size=n)
+        center = rng.random((n, 3))
+        mass = rng.random(n)
+        # a few coincident pairs exercise the r2 == 0 guard
+        center[::17] = pos[::17]
+        return pos, rows, center, mass
+
+    def test_mac_open_pairs_matches_scalar(self):
+        from repro.geometry.box import point_box_distance_sq
+        from repro.trees.kernels import mac_open_pairs
+
+        rng = np.random.default_rng(1)
+        lo = rng.random((300, 3))
+        hi = lo + rng.random((300, 3))
+        c = rng.random((300, 3)) * 2 - 0.5
+        r2 = rng.random(300) * 0.2
+        got = mac_open_pairs(lo, hi, c, r2)
+        want = np.array([
+            bool(point_box_distance_sq(lo[k], hi[k], c[k]) <= r2[k])
+            for k in range(300)
+        ])
+        assert np.array_equal(got, want)
+
+    def test_accumulate_monopole_matches_scalar_loop(self):
+        from repro.trees.kernels import accumulate_monopole
+
+        pos, rows, center, mass = self._pairs()
+        G, eps = 1.3, 1e-3
+        got = np.zeros((64, 3))
+        accumulate_monopole(got, rows, pos, center, mass, G, eps)
+        want = np.zeros((64, 3))
+        eps2 = eps * eps
+        for k in range(len(rows)):
+            d = center[k] - pos[k]
+            r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2]
+            if r2 > 0.0:
+                rs = r2 + eps2
+                want[rows[k]] += (G * mass[k] / (rs * np.sqrt(rs))) * d
+        assert got.tobytes() == want.tobytes()
+
+    def test_accumulate_monopole_potential_matches_scalar_loop(self):
+        from repro.trees.kernels import accumulate_monopole_potential
+
+        pos, rows, center, mass = self._pairs(seed=3)
+        got = np.zeros(64)
+        accumulate_monopole_potential(got, rows, pos, center, mass, 1.0, 0.0)
+        want = np.zeros(64)
+        for k in range(len(rows)):
+            d = center[k] - pos[k]
+            r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2]
+            if r2 > 0.0:
+                want[rows[k]] += -mass[k] * (1.0 / np.sqrt(r2))
+        assert got.tobytes() == want.tobytes()
+
+    def test_accumulate_pp_matches_scalar_loop(self):
+        from repro.trees.kernels import accumulate_pp, accumulate_pp_potential
+
+        rng = np.random.default_rng(7)
+        positions = rng.random((50, 3))
+        masses = rng.random(50)
+        t_rows = rng.integers(0, 50, size=600)
+        s_rows = rng.integers(0, 50, size=600)
+        s_rows[::13] = t_rows[::13]  # self pairs must contribute zero
+        G, eps = 0.9, 1e-4
+        got_a = np.zeros((50, 3))
+        got_p = np.zeros(50)
+        accumulate_pp(got_a, t_rows, s_rows, positions, masses, G, eps)
+        accumulate_pp_potential(got_p, t_rows, s_rows, positions, masses, G, eps)
+        want_a = np.zeros((50, 3))
+        want_p = np.zeros(50)
+        eps2 = eps * eps
+        for k in range(len(t_rows)):
+            d = positions[s_rows[k]] - positions[t_rows[k]]
+            r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2]
+            if r2 > 0.0:
+                rs = r2 + eps2
+                want_a[t_rows[k]] += (G * masses[s_rows[k]] / (rs * np.sqrt(rs))) * d
+                want_p[t_rows[k]] += -G * masses[s_rows[k]] * (1.0 / np.sqrt(rs))
+        assert got_a.tobytes() == want_a.tobytes()
+        assert got_p.tobytes() == want_p.tobytes()
+
+    def test_pair_dist_sq_and_scatter(self):
+        from repro.trees.kernels import pair_dist_sq, scatter_add_1d
+
+        rng = np.random.default_rng(9)
+        positions = rng.random((40, 3))
+        a = rng.integers(0, 40, size=200)
+        b = rng.integers(0, 40, size=200)
+        got = pair_dist_sq(positions, a, b)
+        want = np.array([
+            ((positions[a[k]] - positions[b[k]]) ** 2).tolist()
+            for k in range(200)
+        ]).sum(axis=1)
+        np.testing.assert_allclose(got, want, rtol=0, atol=0)
+
+        out = np.zeros(40)
+        vals = rng.random(200)
+        scatter_add_1d(out, a, vals)
+        ref = np.zeros(40)
+        np.add.at(ref, a, vals)
+        assert out.tobytes() == ref.tobytes()
+
+    def test_expand_pair_products_matches_nested_loops(self):
+        from repro.trees.kernels import expand_pair_products
+
+        ts, te = np.array([0, 5, 5, 9]), np.array([3, 5, 9, 12])
+        ss, se = np.array([2, 0, 7, 0]), np.array([4, 3, 7, 1])
+        t_rows, s_rows = expand_pair_products(ts, te, ss, se)
+        want_t, want_s = [], []
+        for p in range(len(ts)):
+            for t in range(ts[p], te[p]):
+                for s in range(ss[p], se[p]):
+                    want_t.append(t)
+                    want_s.append(s)
+        assert t_rows.tolist() == want_t
+        assert s_rows.tolist() == want_s
+
+    def test_numba_leg_matches_numpy_leg(self, monkeypatch):
+        """Where numba is installed, the JIT leg must equal the numpy
+        fallback bit-for-bit (CI's build-equiv matrix runs both)."""
+        from repro.trees import kernels
+
+        if not kernels.HAVE_NUMBA:
+            pytest.skip("numba not installed; numpy fallback is the only leg")
+
+        pos, rows, center, mass = self._pairs(seed=5)
+
+        def run():
+            acc = np.zeros((64, 3))
+            kernels.accumulate_monopole(acc, rows, pos, center, mass, 1.1, 1e-3)
+            pot = np.zeros(64)
+            kernels.accumulate_monopole_potential(pot, rows, pos, center, mass, 1.1, 1e-3)
+            mac = kernels.mac_open_pairs(pos, pos + 0.1, center, mass * 0.1)
+            return acc, pot, mac
+
+        monkeypatch.setenv("REPRO_NO_NUMBA", "1")
+        np_leg = run()
+        monkeypatch.delenv("REPRO_NO_NUMBA")
+        nb_leg = run()
+        for a, b in zip(np_leg, nb_leg):
+            assert a.tobytes() == b.tobytes()
+
+    def test_batched_gravity_uses_kernels_consistently(self, small_tree):
+        """End-to-end: the batched engine's gravity equals a re-run of
+        itself (determinism) and the transposed engine within tolerance."""
+        make, collect = gravity_setup(small_tree, with_potential=True)
+        r1 = run_combination(small_tree, "batched", make, collect)
+        r2 = run_combination(small_tree, "batched", make, collect)
+        assert r1.outputs["accel"].tobytes() == r2.outputs["accel"].tobytes()
+        rt = run_combination(small_tree, "transposed", make, collect)
+        np.testing.assert_allclose(r1.outputs["accel"], rt.outputs["accel"],
+                                   rtol=1e-12, atol=1e-14)

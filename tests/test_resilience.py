@@ -395,6 +395,86 @@ class TestBitIdenticalResume:
         assert resumed.draws == baseline.draws[2:]
 
 
+class TestLinearBuilderResilience:
+    """The vectorised linear octree builder through the resilience stack.
+
+    The builder equivalence proof (tests/test_linear_tree.py) says the two
+    builders produce byte-identical trees; these tests pin the downstream
+    consequence — checkpoints, resumes, and audits cannot tell the builders
+    apart, and a resume may legitimately switch builders."""
+
+    def test_linear_run_resumes_bit_identically(self, tmp_path):
+        baseline = _gravity_driver(tree_builder="linear")
+        baseline.run()
+
+        interrupted = _gravity_driver(tree_builder="linear")
+        interrupted.enable_checkpointing(tmp_path, every=1)
+        interrupted.config.num_iterations = 2
+        interrupted.run()
+
+        resumed = _gravity_driver(tree_builder="linear")
+        resumed.config.num_iterations = baseline.config.num_iterations
+        resumed.run(resume_from=load_checkpoint(tmp_path / "ckpt_000002.npz"))
+
+        _assert_fields_equal(_fields(baseline), _fields(resumed))
+        np.testing.assert_array_equal(baseline.accelerations, resumed.accelerations)
+        assert audit_restore(resumed) == []
+
+    def test_linear_and_recursive_twins_write_identical_checkpoints(self, tmp_path):
+        """`repro audit` between a linear run and its recursive twin passes:
+        every checkpoint the two runs write carries byte-identical state."""
+        lin_dir, rec_dir = tmp_path / "lin", tmp_path / "rec"
+        lin = _gravity_driver(tree_builder="linear")
+        lin.enable_checkpointing(lin_dir, every=1, keep=10)
+        lin.run()
+
+        rec = _gravity_driver(tree_builder="recursive")
+        rec.enable_checkpointing(rec_dir, every=1, keep=10)
+        rec.run()
+
+        names = sorted(p.name for p in lin_dir.glob("ckpt_*.npz"))
+        assert names == sorted(p.name for p in rec_dir.glob("ckpt_*.npz"))
+        assert names  # at least one checkpoint written
+        for name in names:
+            assert audit_checkpoints(lin_dir / name, rec_dir / name) == []
+        np.testing.assert_array_equal(lin.accelerations, rec.accelerations)
+        _assert_fields_equal(_fields(lin), _fields(rec))
+
+    def test_resume_may_switch_builders(self, tmp_path):
+        """tree_builder is a resumable key: a recursive run's checkpoint
+        resumed under the linear builder matches the uninterrupted recursive
+        baseline bit-for-bit (and vice versa would too, by symmetry)."""
+        baseline = _gravity_driver(tree_builder="recursive")
+        baseline.run()
+
+        interrupted = _gravity_driver(tree_builder="recursive")
+        interrupted.enable_checkpointing(tmp_path, every=1)
+        interrupted.config.num_iterations = 2
+        interrupted.run()
+
+        resumed = _gravity_driver(tree_builder="linear")
+        resumed.config.num_iterations = baseline.config.num_iterations
+        resumed.run(resume_from=tmp_path / "ckpt_000002.npz")
+
+        _assert_fields_equal(_fields(baseline), _fields(resumed))
+        np.testing.assert_array_equal(baseline.accelerations, resumed.accelerations)
+        assert audit_restore(resumed) == []
+
+    def test_tree_builder_round_trips_through_checkpoint(self, tmp_path):
+        driver = _gravity_driver(tree_builder="linear", iterations=2)
+        driver.enable_checkpointing(
+            tmp_path, every=1, app="gravity",
+            app_config={"theta": 0.7, "softening": 1e-3, "dt": 1e-3},
+        )
+        driver.run()
+
+        ckpt = load_checkpoint(latest_checkpoint(tmp_path))
+        assert ckpt.config["tree_builder"] == "linear"
+        rebuilt = driver_from_checkpoint(ckpt)
+        assert rebuilt.config.tree_builder == "linear"
+        assert Configuration.from_dict(ckpt.config).tree_builder == "linear"
+
+
 class TestAudit:
     def test_audit_restore_flags_nonfinite_positions(self):
         driver = _gravity_driver(iterations=1)
